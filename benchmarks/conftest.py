@@ -1,0 +1,23 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's §6
+(plus the §2.2 motivation figure and ablations). Set
+``REPRO_BENCH_QUICK=1`` to run shrunken configurations (~4x faster,
+noisier percentiles).
+"""
+
+import os
+
+import pytest
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+
+def scaled(full: int, quick: int) -> int:
+    """Pick an operation count based on the quick flag."""
+    return quick if QUICK else full
+
+
+@pytest.fixture(scope="session")
+def quick_mode():
+    return QUICK

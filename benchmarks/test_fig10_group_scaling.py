@@ -1,0 +1,83 @@
+"""Figure 10: 99th-percentile gWRITE latency vs group size (3, 5, 7).
+
+Paper result (§6.1): "With HyperLoop, there is no significant
+performance degradation as the group size increases, while with
+Naïve-RDMA, 99th percentile latency increases by up to 2.97×", and
+Naïve's tail is far above HyperLoop's at every group size.
+
+Shape assertions:
+* Naïve p99 ≥ 20× HyperLoop p99 at every (group, size) point;
+* HyperLoop's p99 grows sub-linearly in group size (a longer chain
+  adds only NIC/wire hops — microseconds);
+* HyperLoop average latency varies little across group sizes
+  (the "smaller variance of average latency" observation).
+"""
+
+from conftest import scaled
+
+from repro.bench import format_table
+from repro.bench.experiments import microbench_latency
+
+N_OPS = scaled(2500, 500)
+GROUP_SIZES = [3, 5, 7]
+SIZES = [128, 1024, 8192]
+
+
+def test_fig10_group_size_scaling(benchmark):
+    def run():
+        out = {}
+        for system in ("naive-polling", "hyperloop"):
+            for group_size in GROUP_SIZES:
+                for size in SIZES:
+                    result = microbench_latency(
+                        system,
+                        primitive="gwrite",
+                        message_size=size,
+                        group_size=group_size,
+                        n_ops=N_OPS,
+                        stress_per_core=6,
+                    )
+                    assert not result.errors, result.errors
+                    out[(system, group_size, size)] = result.stats
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            system,
+            group_size,
+            size,
+            round(results[(system, group_size, size)].mean, 1),
+            round(results[(system, group_size, size)].p99, 1),
+        )
+        for system in ("naive-polling", "hyperloop")
+        for group_size in GROUP_SIZES
+        for size in SIZES
+    ]
+    print()
+    print(
+        format_table(
+            "Figure 10: gWRITE p99 latency (us) vs group size",
+            ["system", "group", "size_B", "avg", "p99"],
+            rows,
+        )
+    )
+    for group_size in GROUP_SIZES:
+        for size in SIZES:
+            hyper = results[("hyperloop", group_size, size)]
+            naive = results[("naive-polling", group_size, size)]
+            assert naive.p99 > 20 * hyper.p99, (group_size, size, naive.p99, hyper.p99)
+    # HyperLoop: going 3 -> 7 replicas costs microseconds, not a blowup.
+    for size in SIZES:
+        small = results[("hyperloop", 3, size)]
+        large = results[("hyperloop", 7, size)]
+        assert large.p99 < 4 * small.p99, (size, small.p99, large.p99)
+        assert abs(large.mean - small.mean) < 60, "HyperLoop avg should barely move"
+    hyper_growth = results[("hyperloop", 7, 1024)].p99 / results[("hyperloop", 3, 1024)].p99
+    naive_growth = results[("naive-polling", 7, 1024)].p99 / results[("naive-polling", 3, 1024)].p99
+    print(
+        f"p99 growth 3->7 replicas: hyperloop {hyper_growth:.2f}x, "
+        f"naive {naive_growth:.2f}x (paper: naive up to 2.97x)"
+    )
+    benchmark.extra_info["hyperloop_p99_growth"] = round(hyper_growth, 2)
+    benchmark.extra_info["naive_p99_growth"] = round(naive_growth, 2)

@@ -1,0 +1,70 @@
+"""Figure 12: MongoDB latency across YCSB A/B/D/E/F, native vs HyperLoop.
+
+Paper result (§6.2): HyperLoop reduces insert/update latency by up to
+79% and narrows the average-to-99th-percentile gap by up to 81%;
+read-dominated workloads (B, D) show much smaller absolute latencies
+in both systems, with the residual latency dominated by the client's
+MongoDB software stack (query parsing).
+
+Shape assertions:
+* write-heavy workloads (A, F): HyperLoop average ≥ 40% below native;
+* HyperLoop narrows the p99/avg gap on write-heavy workloads;
+* read-heavy workloads are cheaper than write-heavy ones in both
+  systems (reads are one-sided in this architecture).
+"""
+
+from conftest import scaled
+
+from repro.bench import format_table
+from repro.bench.experiments import fig12_mongodb
+
+N_OPS = scaled(450, 150)
+WORKLOADS_RUN = ["A", "B", "D", "E", "F"]
+
+
+def test_fig12_mongodb_ycsb(benchmark):
+    def run():
+        out = {}
+        for name in WORKLOADS_RUN:
+            out[("native", name)] = fig12_mongodb(False, name, n_ops=N_OPS)
+            out[("hyperloop", name)] = fig12_mongodb(True, name, n_ops=N_OPS)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name in WORKLOADS_RUN:
+        for system in ("native", "hyperloop"):
+            stats = results[(system, name)]
+            rows.append(
+                (
+                    name,
+                    system,
+                    round(stats.mean / 1000, 2),
+                    round(stats.p95 / 1000, 2),
+                    round(stats.p99 / 1000, 2),
+                )
+            )
+    print()
+    print(
+        format_table(
+            "Figure 12: MongoDB latency (ms) per YCSB workload",
+            ["workload", "system", "avg_ms", "p95_ms", "p99_ms"],
+            rows,
+        )
+    )
+    for name in ("A", "F"):
+        native = results[("native", name)]
+        hyper = results[("hyperloop", name)]
+        reduction = 1 - hyper.mean / native.mean
+        assert reduction > 0.40, f"workload {name}: avg reduction only {reduction:.0%}"
+        native_gap = native.p99 / native.mean
+        hyper_gap = hyper.p99 / hyper.mean
+        assert hyper_gap < native_gap * 1.2, (
+            f"workload {name}: gap not narrowed ({hyper_gap:.1f} vs {native_gap:.1f})"
+        )
+    # Read-heavy workloads are cheaper than write-heavy in both systems.
+    for system in ("native", "hyperloop"):
+        assert results[(system, "B")].mean < results[(system, "A")].mean
+    reduction_a = 1 - results[("hyperloop", "A")].mean / results[("native", "A")].mean
+    print(f"workload A average reduction: {reduction_a:.0%} (paper: up to 79%)")
+    benchmark.extra_info["avg_reduction_A"] = round(reduction_a, 3)

@@ -1,0 +1,96 @@
+"""Figure 2: the §2.2 motivation — vanilla MongoDB under multi-tenancy.
+
+(a) With more replica-sets co-located on 3 servers, latency and
+    context switches rise and the average/p99 gap widens.
+(b) With the replica-set count fixed (18) and fewer cores enabled,
+    latency and context switches rise; more cores means fewer context
+    switches and lower latency.
+
+Shape assertions follow the paper's reading of the figure: latency and
+context switches increase monotonically-ish with replica-sets, and
+decrease with core count.
+"""
+
+from conftest import scaled
+
+from repro.bench import format_table
+from repro.bench.experiments import fig2_mongodb_motivation
+
+OPS_PER_SET = scaled(40, 15)
+LOAD_DOCS = scaled(15, 8)
+REPLICA_SET_COUNTS = [9, 18, 27]
+CORE_COUNTS = [4, 8, 16]
+
+
+def test_fig2a_latency_vs_replica_sets(benchmark):
+    def run():
+        return {
+            count: fig2_mongodb_motivation(
+                count, n_cores=16, ops_per_set=OPS_PER_SET, load_docs=LOAD_DOCS
+            )
+            for count in REPLICA_SET_COUNTS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    max_switches = max(result.context_switches for result in results.values())
+    rows = [
+        (
+            count,
+            round(result.stats.mean / 1000, 2),
+            round(result.stats.p95 / 1000, 2),
+            round(result.stats.p99 / 1000, 2),
+            round(result.context_switches / max_switches, 2),
+        )
+        for count, result in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            "Figure 2(a): MongoDB latency vs replica-sets (16 cores)",
+            ["sets", "avg_ms", "p95_ms", "p99_ms", "norm_ctx_switches"],
+            rows,
+        )
+    )
+    low, high = results[REPLICA_SET_COUNTS[0]], results[REPLICA_SET_COUNTS[-1]]
+    assert high.stats.mean > low.stats.mean, "latency should rise with tenancy"
+    assert high.context_switches > low.context_switches
+    # The avg <-> p99 gap widens under load.
+    assert high.stats.p99 / high.stats.mean >= 1.5
+    benchmark.extra_info["avg_ms_27_sets"] = round(high.stats.mean / 1000, 2)
+
+
+def test_fig2b_latency_vs_cores(benchmark):
+    def run():
+        return {
+            cores: fig2_mongodb_motivation(
+                18, n_cores=cores, ops_per_set=OPS_PER_SET, load_docs=LOAD_DOCS
+            )
+            for cores in CORE_COUNTS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    max_switches = max(result.context_switches for result in results.values())
+    rows = [
+        (
+            cores,
+            round(result.stats.mean / 1000, 2),
+            round(result.stats.p99 / 1000, 2),
+            round(result.context_switches / max_switches, 2),
+        )
+        for cores, result in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            "Figure 2(b): MongoDB latency vs cores (18 replica-sets)",
+            ["cores", "avg_ms", "p99_ms", "norm_ctx_switches"],
+            rows,
+        )
+    )
+    few, many = results[CORE_COUNTS[0]], results[CORE_COUNTS[-1]]
+    assert few.stats.mean > many.stats.mean, "fewer cores -> higher latency"
+    assert few.context_switches > many.context_switches, (
+        "fewer cores -> more context switches"
+    )
+    benchmark.extra_info["avg_ms_4_cores"] = round(few.stats.mean / 1000, 2)
+    benchmark.extra_info["avg_ms_16_cores"] = round(many.stats.mean / 1000, 2)

@@ -1,0 +1,107 @@
+"""Figure 8: latency of gWRITE and gMEMCPY vs message size.
+
+Paper result (§6.1): with a replication group of 3 under background
+CPU load, Naïve-RDMA shows 99th-percentile latencies orders of
+magnitude above its average, while HyperLoop's average and tail stay
+within microseconds of each other across all message sizes —
+"99th percentile latency can be reduced by up to 801.8×" (gWRITE) and
+848× (gMEMCPY).
+
+Shape assertions:
+* HyperLoop p99 stays below 10× its own average at every size.
+* Naïve-RDMA p99 is ≥ 50× HyperLoop's p99 at every size.
+* HyperLoop latency grows with message size (wire time) but stays
+  in the tens of microseconds.
+"""
+
+from conftest import scaled
+
+from repro.bench import format_table
+from repro.bench.experiments import MESSAGE_SIZES_FIG8, microbench_latency
+
+N_OPS = scaled(3000, 600)
+STRESS = 6
+
+
+def _sweep(primitive):
+    rows = []
+    results = {}
+    for system in ("naive-polling", "hyperloop"):
+        for size in MESSAGE_SIZES_FIG8:
+            result = microbench_latency(
+                system,
+                primitive=primitive,
+                message_size=size,
+                n_ops=N_OPS,
+                stress_per_core=STRESS,
+            )
+            assert not result.errors, result.errors
+            results[(system, size)] = result.stats
+            rows.append(
+                (
+                    system,
+                    size,
+                    round(result.stats.mean, 1),
+                    round(result.stats.p95, 1),
+                    round(result.stats.p99, 1),
+                )
+            )
+    return rows, results
+
+
+def _assert_shape(results):
+    for size in MESSAGE_SIZES_FIG8:
+        hyperloop = results[("hyperloop", size)]
+        naive = results[("naive-polling", size)]
+        assert hyperloop.p99 < 10 * hyperloop.mean, (
+            f"HyperLoop tail not flat at {size}B: {hyperloop}"
+        )
+        assert naive.p99 > 50 * hyperloop.p99, (
+            f"tail gap too small at {size}B: naive {naive.p99} vs "
+            f"hyperloop {hyperloop.p99}"
+        )
+        assert hyperloop.mean < 100, f"HyperLoop avg too high at {size}B"
+
+
+def test_fig8a_gwrite_latency(benchmark):
+    def run():
+        return _sweep("gwrite")
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            "Figure 8(a): gWRITE latency (us), group size 3",
+            ["system", "size_B", "avg", "p95", "p99"],
+            rows,
+        )
+    )
+    _assert_shape(results)
+    worst = max(
+        results[("naive-polling", s)].p99 / results[("hyperloop", s)].p99
+        for s in MESSAGE_SIZES_FIG8
+    )
+    print(f"max p99 reduction: {worst:.0f}x (paper: up to 801.8x)")
+    benchmark.extra_info["max_p99_reduction"] = round(worst, 1)
+
+
+def test_fig8b_gmemcpy_latency(benchmark):
+    def run():
+        return _sweep("gmemcpy")
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            "Figure 8(b): gMEMCPY latency (us), group size 3",
+            ["system", "size_B", "avg", "p95", "p99"],
+            rows,
+        )
+    )
+    _assert_shape(results)
+    worst = max(
+        results[("naive-polling", s)].p99 / results[("hyperloop", s)].p99
+        for s in MESSAGE_SIZES_FIG8
+    )
+    print(f"max p99 reduction: {worst:.0f}x (paper: up to 848x)")
+    benchmark.extra_info["max_p99_reduction"] = round(worst, 1)

@@ -1,0 +1,73 @@
+"""Figure 9: gWRITE throughput and critical-path CPU vs message size.
+
+Paper result (§6.1): HyperLoop sustains the same throughput as
+Naïve-RDMA across 1KB-64KB messages (both ultimately wire-limited),
+but consumes almost no replica CPU, while Naïve-RDMA burns a full
+polling core ("utilizes a whole CPU core ... almost no CPUs are
+consumed in the critical path" for HyperLoop).
+
+Shape assertions:
+* throughput parity: HyperLoop within 2x of Naïve at every size
+  (the paper shows near-identical curves);
+* throughput decreases as messages grow (wire-bound regime);
+* replica CPU: HyperLoop < 2% of a core; Naïve-polling > 50%.
+"""
+
+from conftest import scaled
+
+from repro.bench import format_table
+from repro.bench.experiments import MESSAGE_SIZES_FIG9, microbench_throughput
+
+TOTAL_BYTES = scaled(32 << 20, 8 << 20)
+
+
+def test_fig9_throughput_and_cpu(benchmark):
+    def run():
+        out = {}
+        for system in ("naive-polling", "hyperloop"):
+            for size in MESSAGE_SIZES_FIG9:
+                out[(system, size)] = microbench_throughput(
+                    system, message_size=size, total_bytes=TOTAL_BYTES
+                )
+                assert not out[(system, size)].errors
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for system in ("naive-polling", "hyperloop"):
+        for size in MESSAGE_SIZES_FIG9:
+            result = results[(system, size)]
+            rows.append(
+                (
+                    system,
+                    size,
+                    round(result.throughput_kops, 1),
+                    f"{result.replica_cpu_fraction * 100:.1f}%",
+                )
+            )
+    print()
+    print(
+        format_table(
+            "Figure 9: gWRITE throughput + critical-path CPU, group size 3",
+            ["system", "size_B", "Kops/s", "replica CPU"],
+            rows,
+        )
+    )
+    for size in MESSAGE_SIZES_FIG9:
+        hyper = results[("hyperloop", size)]
+        naive = results[("naive-polling", size)]
+        ratio = hyper.throughput_kops / naive.throughput_kops
+        assert ratio > 0.5, f"throughput collapsed at {size}B: {ratio:.2f}"
+        assert hyper.replica_cpu_fraction < 0.02, (
+            f"HyperLoop replica CPU {hyper.replica_cpu_fraction:.3f} at {size}B"
+        )
+        assert naive.replica_cpu_fraction > 0.50, (
+            f"Naive-polling replica CPU only {naive.replica_cpu_fraction:.3f}"
+        )
+    # Wire-bound regime: bigger messages, fewer ops/s.
+    assert (
+        results[("hyperloop", 65536)].throughput_kops
+        < results[("hyperloop", 1024)].throughput_kops
+    )
+    benchmark.extra_info["hyperloop_cpu_4k"] = results[("hyperloop", 4096)].replica_cpu_fraction
+    benchmark.extra_info["naive_cpu_4k"] = results[("naive-polling", 4096)].replica_cpu_fraction

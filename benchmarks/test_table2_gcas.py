@@ -1,0 +1,63 @@
+"""Table 2: latency of gCAS, HyperLoop vs Naïve-RDMA.
+
+Paper numbers::
+
+                 Average   95th pct   99th pct
+    Naïve-RDMA   539 us    3928 us    11886 us
+    HyperLoop    10 us     13 us      14 us
+
+(= 53.9× average, 302× p95, 849× p99 reductions.)
+
+Shape assertions: HyperLoop's average stays in the tens of
+microseconds with a flat tail; Naïve-RDMA's average is ≥ 5× worse and
+its p99 ≥ 50× worse.
+"""
+
+from conftest import scaled
+
+from repro.bench import format_table
+from repro.bench.experiments import microbench_latency
+
+N_OPS = scaled(3000, 600)
+
+
+def test_table2_gcas_latency(benchmark):
+    def run():
+        out = {}
+        for system in ("naive-polling", "hyperloop"):
+            result = microbench_latency(
+                system, primitive="gcas", message_size=64, n_ops=N_OPS,
+                stress_per_core=6,
+            )
+            assert not result.errors, result.errors
+            out[system] = result.stats
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    naive, hyper = results["naive-polling"], results["hyperloop"]
+    rows = [
+        ("Naive-RDMA", round(naive.mean, 1), round(naive.p95, 1), round(naive.p99, 1)),
+        ("HyperLoop", round(hyper.mean, 1), round(hyper.p95, 1), round(hyper.p99, 1)),
+        ("paper Naive", 539, 3928, 11886),
+        ("paper HyperLoop", 10, 13, 14),
+    ]
+    print()
+    print(
+        format_table(
+            "Table 2: gCAS latency (us)",
+            ["system", "avg", "p95", "p99"],
+            rows,
+        )
+    )
+    print(
+        f"reductions: avg {naive.mean / hyper.mean:.1f}x (paper 53.9x), "
+        f"p95 {naive.p95 / hyper.p95:.0f}x (paper 302x), "
+        f"p99 {naive.p99 / hyper.p99:.0f}x (paper 849x)"
+    )
+    # Shape: HyperLoop flat and fast; Naïve slow on average, awful tail.
+    assert hyper.mean < 60
+    assert hyper.p99 < 5 * hyper.mean
+    assert naive.mean > 5 * hyper.mean
+    assert naive.p99 > 50 * hyper.p99
+    benchmark.extra_info["avg_reduction"] = round(naive.mean / hyper.mean, 1)
+    benchmark.extra_info["p99_reduction"] = round(naive.p99 / hyper.p99, 1)

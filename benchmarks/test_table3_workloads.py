@@ -1,0 +1,52 @@
+"""Table 3: YCSB workload operation mixes.
+
+Not a performance table — it defines the workloads of §6.2. This
+bench generates long operation streams from our YCSB implementation
+and verifies every mix matches the paper's percentages.
+"""
+
+from collections import Counter
+
+from repro.bench import format_table
+from repro.workloads import WORKLOADS, YcsbWorkload
+
+N_OPS = 40_000
+
+EXPECTED = {
+    # workload: (read, update, insert, modify, scan) in percent
+    "A": (50, 50, 0, 0, 0),
+    "B": (95, 5, 0, 0, 0),
+    "D": (95, 0, 5, 0, 0),
+    "E": (0, 0, 5, 0, 95),
+    "F": (50, 0, 0, 50, 0),
+}
+
+
+def test_table3_workload_mixes(benchmark):
+    def run():
+        observed = {}
+        for name in EXPECTED:
+            workload = YcsbWorkload(WORKLOADS[name], record_count=10_000, seed=3)
+            counts = Counter(op.kind for op in workload.operations(N_OPS))
+            observed[name] = tuple(
+                round(100 * counts.get(kind, 0) / N_OPS, 1)
+                for kind in ("read", "update", "insert", "modify", "scan")
+            )
+        return observed
+
+    observed = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, *observed[name])
+        for name in EXPECTED
+    ]
+    print()
+    print(
+        format_table(
+            "Table 3: generated YCSB operation mixes (%)",
+            ["workload", "read", "update", "insert", "modify", "scan"],
+            rows,
+        )
+    )
+    for name, expected in EXPECTED.items():
+        for got, want in zip(observed[name], expected):
+            assert abs(got - want) < 1.0, (name, observed[name], expected)

@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+The environment has no `wheel` package, which the PEP 517 editable
+path requires; metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""HyperLoop reproduction: group-based NIC-offloading for replicated
+transactions, on a simulated RDMA/NVM/CPU substrate.
+
+Quick tour
+----------
+>>> from repro import Simulator, Cluster, HyperLoopGroup
+>>> sim = Simulator(seed=1)
+>>> cluster = Cluster(sim, n_hosts=4)
+>>> group = HyperLoopGroup(cluster[0], cluster.hosts[1:4])
+
+Layers (bottom-up):
+
+* :mod:`repro.sim` — discrete-event kernel (integer-ns clock).
+* :mod:`repro.hw` — CPU/OS scheduler, memory/NVM, network fabric,
+  and the RNIC with WAIT chaining and in-memory WQE rings.
+* :mod:`repro.rdma` — verbs layer (MRs, QPs, CQs, the modified
+  driver), one-sided reads, RPC.
+* :mod:`repro.core` — **the paper's contribution**: HyperLoop groups
+  with gWRITE / gMEMCPY / gCAS / gFLUSH.
+* :mod:`repro.baseline` — Naïve-RDMA (CPU-forwarded) and fan-out
+  comparison points.
+* :mod:`repro.storage` — replicated WAL, group locks, KV store
+  (RocksDB-like), document store (MongoDB-like), failure recovery.
+* :mod:`repro.workloads` — YCSB.
+* :mod:`repro.bench` — experiment builders for every paper figure.
+"""
+
+from .baseline import FanoutGroup, NaiveGroup
+from .core import HyperLoopGroup
+from .hw import Cluster, Host
+from .sim import MS, SECOND, Simulator, US
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "Cluster",
+    "Host",
+    "HyperLoopGroup",
+    "NaiveGroup",
+    "FanoutGroup",
+    "US",
+    "MS",
+    "SECOND",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Baselines: Naïve-RDMA (CPU-forwarded chain) and fan-out (§7)."""
+
+from .fanout import FanoutGroup
+from .naive import NaiveGroup, NaiveParams
+
+__all__ = ["NaiveGroup", "NaiveParams", "FanoutGroup"]

@@ -1,0 +1,11 @@
+"""Benchmark harness utilities."""
+
+from .harness import CpuMeter, LatencyRecorder, LatencyStats, format_table, run_until
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencyStats",
+    "CpuMeter",
+    "run_until",
+    "format_table",
+]

@@ -1,0 +1,156 @@
+"""Benchmark harness: recorders, runners, and table formatting.
+
+Every experiment in ``benchmarks/`` is expressed with these pieces:
+build a cluster, spawn client tasks that record per-op latencies into
+a :class:`LatencyRecorder`, drive the simulation with
+:func:`run_until`, and print paper-style rows with
+:func:`format_table`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from ..sim import MS, Simulator
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencyStats",
+    "run_until",
+    "format_table",
+    "CpuMeter",
+]
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics of a latency sample, in microseconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "n": self.count,
+            "avg_us": round(self.mean, 2),
+            "p50_us": round(self.p50, 2),
+            "p95_us": round(self.p95, 2),
+            "p99_us": round(self.p99, 2),
+        }
+
+
+class LatencyRecorder:
+    """Collects per-operation latencies (nanoseconds in, µs out)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples_ns: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        self.samples_ns.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)
+
+    @staticmethod
+    def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+        """Linear-interpolated percentile (same convention as numpy)."""
+        if not sorted_values:
+            return math.nan
+        if len(sorted_values) == 1:
+            return sorted_values[0]
+        rank = fraction * (len(sorted_values) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(sorted_values) - 1)
+        weight = rank - low
+        # a + (b - a) * w rather than a*(1-w) + b*w: exact when a == b,
+        # so percentiles stay monotone under floating point.
+        return sorted_values[low] + (sorted_values[high] - sorted_values[low]) * weight
+
+    def stats(self) -> LatencyStats:
+        """Summarize (µs). Raises if nothing was recorded."""
+        if not self.samples_ns:
+            raise ValueError(f"recorder {self.name!r} has no samples")
+        values = sorted(sample / 1000.0 for sample in self.samples_ns)
+        return LatencyStats(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=self._percentile(values, 0.50),
+            p95=self._percentile(values, 0.95),
+            p99=self._percentile(values, 0.99),
+            minimum=values[0],
+            maximum=values[-1],
+        )
+
+
+class CpuMeter:
+    """Utilization of a set of OSes over a measurement window."""
+
+    def __init__(self, oses):
+        self.oses = list(oses)
+        self._t0 = None
+        self._busy0 = None
+
+    def start(self, sim: Simulator) -> None:
+        self._t0 = sim.now
+        self._busy0 = [os_.busy_ns for os_ in self.oses]
+
+    def utilization(self, sim: Simulator) -> float:
+        """Mean core utilization across the metered hosts since start."""
+        elapsed = sim.now - self._t0
+        if elapsed <= 0:
+            return 0.0
+        total = 0.0
+        for os_, busy0 in zip(self.oses, self._busy0):
+            enabled = sum(1 for core in os_.cores if core.enabled)
+            total += (os_.busy_ns - busy0) / (elapsed * enabled)
+        return total / len(self.oses)
+
+
+def run_until(
+    sim: Simulator,
+    done: Callable[[], bool],
+    deadline_ms: int = 10_000,
+    chunk_ms: float = 5.0,
+) -> None:
+    """Advance the simulation until ``done()`` or the deadline.
+
+    Long-lived background processes (stress tenants, daemons) never
+    drain the event queue, so experiments advance in chunks and stop
+    as soon as the workload completes.
+    """
+    deadline = sim.now + deadline_ms * MS
+    chunk = int(chunk_ms * MS)
+    while not done() and sim.now < deadline:
+        sim.run(until=min(sim.now + chunk, deadline))
+    if not done():
+        raise TimeoutError(
+            f"experiment did not complete within {deadline_ms} ms of virtual time"
+        )
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence],
+) -> str:
+    """Render an aligned text table (paper-style output)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Command-line interface: run experiments and demos without pytest.
+
+Examples::
+
+    python -m repro list
+    python -m repro latency --system hyperloop --size 4096 --ops 2000
+    python -m repro latency --system naive-polling --stress 6
+    python -m repro throughput --size 8192
+    python -m repro fig2 --replica-sets 18
+    python -m repro fig11
+    python -m repro fig12 --workload A
+    python -m repro sweep          # the tenancy sweep headline table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import format_table
+from .bench.experiments import (
+    fig2_mongodb_motivation,
+    fig11_rocksdb,
+    fig12_mongodb,
+    microbench_latency,
+    microbench_throughput,
+)
+
+__all__ = ["main", "build_parser"]
+
+SYSTEMS = ["hyperloop", "naive-event", "naive-polling"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HyperLoop reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    latency = sub.add_parser("latency", help="§6.1 latency microbenchmark")
+    latency.add_argument("--system", choices=SYSTEMS, default="hyperloop")
+    latency.add_argument("--primitive", choices=["gwrite", "gmemcpy", "gcas"], default="gwrite")
+    latency.add_argument("--size", type=int, default=1024, help="message bytes")
+    latency.add_argument("--group", type=int, default=3, help="replicas in the chain")
+    latency.add_argument("--ops", type=int, default=2000)
+    latency.add_argument("--stress", type=int, default=6, help="tenants per replica core")
+    latency.add_argument("--seed", type=int, default=42)
+
+    throughput = sub.add_parser("throughput", help="§6.1 throughput benchmark")
+    throughput.add_argument("--system", choices=SYSTEMS, default="hyperloop")
+    throughput.add_argument("--size", type=int, default=4096)
+    throughput.add_argument("--mbytes", type=int, default=32, help="total MB to write")
+
+    fig2 = sub.add_parser("fig2", help="§2.2 MongoDB motivation study")
+    fig2.add_argument("--replica-sets", type=int, default=18)
+    fig2.add_argument("--cores", type=int, default=16)
+    fig2.add_argument("--ops-per-set", type=int, default=40)
+
+    fig11 = sub.add_parser("fig11", help="§6.2 replicated RocksDB comparison")
+    fig11.add_argument("--ops", type=int, default=1200)
+    fig11.add_argument("--stress", type=int, default=10)
+
+    fig12 = sub.add_parser("fig12", help="§6.2 MongoDB YCSB comparison")
+    fig12.add_argument("--workload", choices=list("ABDEF"), default="A")
+    fig12.add_argument("--ops", type=int, default=450)
+
+    sweep = sub.add_parser("sweep", help="latency vs tenancy, all systems")
+    sweep.add_argument("--ops", type=int, default=1500)
+    sweep.add_argument("--levels", type=int, nargs="+", default=[0, 2, 6, 10])
+
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        ("latency", "gWRITE/gMEMCPY/gCAS latency distribution (Fig 8, 10, Table 2)"),
+        ("throughput", "bulk gWRITE throughput + replica CPU (Fig 9)"),
+        ("fig2", "vanilla MongoDB under multi-tenancy (Fig 2)"),
+        ("fig11", "replicated RocksDB, three data paths (Fig 11)"),
+        ("fig12", "split MongoDB on YCSB, native vs HyperLoop (Fig 12)"),
+        ("sweep", "the headline tenancy sweep"),
+    ]
+    print(format_table("Experiments", ["command", "what it reproduces"], rows))
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    result = microbench_latency(
+        args.system,
+        primitive=args.primitive,
+        message_size=args.size,
+        group_size=args.group,
+        n_ops=args.ops,
+        stress_per_core=args.stress,
+        seed=args.seed,
+    )
+    stats = result.stats
+    rows = [
+        (
+            args.system,
+            args.primitive,
+            args.size,
+            round(stats.mean, 1),
+            round(stats.p50, 1),
+            round(stats.p95, 1),
+            round(stats.p99, 1),
+            f"{result.replica_cpu_fraction * 100:.2f}%",
+        )
+    ]
+    print(
+        format_table(
+            f"Latency (us), group={args.group}, {args.stress} tenants/core",
+            ["system", "primitive", "size_B", "avg", "p50", "p95", "p99", "replica CPU"],
+            rows,
+        )
+    )
+    if result.errors:
+        print(f"errors: {result.errors[:3]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    result = microbench_throughput(
+        args.system, message_size=args.size, total_bytes=args.mbytes << 20
+    )
+    rows = [
+        (
+            args.system,
+            args.size,
+            round(result.throughput_kops, 1),
+            f"{result.replica_cpu_fraction * 100:.1f}%",
+        )
+    ]
+    print(
+        format_table(
+            "Throughput",
+            ["system", "size_B", "Kops/s", "replica CPU"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    result = fig2_mongodb_motivation(
+        args.replica_sets, n_cores=args.cores, ops_per_set=args.ops_per_set
+    )
+    stats = result.stats
+    rows = [
+        (
+            args.replica_sets,
+            args.cores,
+            round(stats.mean / 1000, 2),
+            round(stats.p99 / 1000, 2),
+            result.context_switches,
+        )
+    ]
+    print(
+        format_table(
+            "Figure 2 configuration",
+            ["replica-sets", "cores", "avg_ms", "p99_ms", "ctx switches"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    rows = []
+    for system in ("naive-event", "naive-polling", "hyperloop"):
+        stats = fig11_rocksdb(system, n_ops=args.ops, stress_per_core=args.stress)
+        rows.append((system, round(stats.mean, 1), round(stats.p99, 1)))
+    print(
+        format_table(
+            "Figure 11: RocksDB update latency (us)",
+            ["system", "avg", "p99"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_fig12(args) -> int:
+    rows = []
+    for label, offloaded in (("native", False), ("hyperloop", True)):
+        stats = fig12_mongodb(offloaded, args.workload, n_ops=args.ops)
+        rows.append(
+            (label, round(stats.mean / 1000, 2), round(stats.p99 / 1000, 2))
+        )
+    print(
+        format_table(
+            f"Figure 12: MongoDB YCSB-{args.workload} (ms)",
+            ["system", "avg_ms", "p99_ms"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    rows = []
+    for level in args.levels:
+        for system in SYSTEMS:
+            result = microbench_latency(
+                system, "gwrite", 1024, n_ops=args.ops, stress_per_core=level
+            )
+            rows.append(
+                (
+                    level,
+                    system,
+                    round(result.stats.mean, 1),
+                    round(result.stats.p99, 1),
+                )
+            )
+    print(
+        format_table(
+            "Latency (us) vs tenants-per-core",
+            ["tenants/core", "system", "avg", "p99"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": lambda: _cmd_list(),
+        "latency": lambda: _cmd_latency(args),
+        "throughput": lambda: _cmd_throughput(args),
+        "fig2": lambda: _cmd_fig2(args),
+        "fig11": lambda: _cmd_fig11(args),
+        "fig12": lambda: _cmd_fig12(args),
+        "sweep": lambda: _cmd_sweep(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

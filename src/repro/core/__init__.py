@@ -1,0 +1,21 @@
+"""HyperLoop core: group-based NIC-offloading primitives.
+
+The paper's primary contribution: gWRITE, gMEMCPY, gCAS and gFLUSH
+executed by chains of RNICs with zero replica-CPU involvement on the
+critical path.
+"""
+
+from .chain import Chain, GCAS, GMEMCPY, GWRITE, OpSpec, SKIP_SENTINEL
+from .fanout import HyperFanoutGroup
+from .group import HyperLoopGroup
+
+__all__ = [
+    "HyperLoopGroup",
+    "HyperFanoutGroup",
+    "Chain",
+    "OpSpec",
+    "GWRITE",
+    "GMEMCPY",
+    "GCAS",
+    "SKIP_SENTINEL",
+]

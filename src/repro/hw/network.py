@@ -1,0 +1,117 @@
+"""Network fabric: hosts' NIC ports connected through one switch.
+
+The model matches the paper's testbed shape — every machine has one
+56 Gbps port into a single switch. Each port has an egress serializer
+(:class:`~repro.sim.TokenBucket`); a message pays:
+
+    egress serialization  +  propagation/switch delay  +  delivery
+
+Ingress contention is folded into the receiving NIC's processing
+engine (see :mod:`repro.hw.nic`), which is the dominant term for the
+small messages replicated transactions send.
+
+The fabric delivers opaque payloads to registered receive callbacks;
+the RDMA transport layer lives above this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..sim import Simulator, TokenBucket
+
+__all__ = ["Fabric", "Port", "GBPS", "wire_bytes"]
+
+GBPS = 0.125
+"""Bytes per nanosecond for one gigabit per second."""
+
+# Per-message wire framing: Ethernet/IB headers + BTH for RoCE-like
+# transports. Applied to every packet on the wire.
+WIRE_HEADER_BYTES = 58
+# Link MTU: larger payloads are segmented and each segment pays headers.
+MTU = 4096
+
+
+def wire_bytes(payload: int) -> int:
+    """Bytes actually serialized on the wire for a payload."""
+    segments = max(1, -(-payload // MTU))
+    return payload + segments * WIRE_HEADER_BYTES
+
+
+@dataclass
+class _Delivery:
+    src: str
+    dst: str
+    payload: Any
+    nbytes: int
+
+
+class Port:
+    """One host's attachment point: an egress serializer plus an id."""
+
+    def __init__(self, fabric: "Fabric", name: str, gbps: float):
+        self.fabric = fabric
+        self.name = name
+        self.gbps = gbps
+        self.egress = TokenBucket(
+            fabric.sim, bytes_per_ns=gbps * GBPS, name=f"{name}.egress"
+        )
+        self.receive: Optional[Callable[[str, Any], None]] = None
+        self.tx_messages = 0
+        self.tx_bytes = 0
+        self.rx_messages = 0
+
+
+class Fabric:
+    """A single-switch network connecting named ports.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    propagation_ns:
+        One-way NIC-to-NIC latency through the switch (cables, PHY,
+        switch pipeline). ~1.3 us matches back-to-back ConnectX-3
+        through one switch.
+    """
+
+    def __init__(self, sim: Simulator, propagation_ns: int = 1300):
+        self.sim = sim
+        self.propagation_ns = propagation_ns
+        self.ports: Dict[str, Port] = {}
+
+    def attach(self, name: str, gbps: float = 56.0) -> Port:
+        """Create a port for host ``name`` at ``gbps`` line rate."""
+        if name in self.ports:
+            raise ValueError(f"port {name!r} already attached")
+        port = Port(self, name, gbps)
+        self.ports[name] = port
+        return port
+
+    def send(self, src: str, dst: str, payload: Any, nbytes: int) -> None:
+        """Transmit ``payload`` (accounting ``nbytes``) from src to dst.
+
+        Delivery invokes the destination port's ``receive`` callback
+        after serialization and propagation. Loopback (src == dst)
+        skips the wire entirely: on-NIC loopback QPs never leave the
+        adapter.
+        """
+        src_port = self.ports[src]
+        dst_port = self.ports[dst]
+        if dst_port.receive is None:
+            raise RuntimeError(f"port {dst!r} has no receive callback")
+        src_port.tx_messages += 1
+        src_port.tx_bytes += nbytes
+        if src == dst:
+            # On-adapter loopback: just the NIC-internal turnaround.
+            self.sim.call_in(100, self._deliver, dst_port, src, payload)
+            return
+        done = src_port.egress.transmit(
+            wire_bytes(nbytes), extra_delay=self.propagation_ns
+        )
+        done.add_callback(lambda _evt: self._deliver(dst_port, src, payload))
+
+    def _deliver(self, port: Port, src: str, payload: Any) -> None:
+        port.rx_messages += 1
+        port.receive(src, payload)

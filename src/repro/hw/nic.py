@@ -1,0 +1,741 @@
+"""RDMA NIC (RNIC) model with CORE-Direct-style WAIT chaining.
+
+Faithfulness properties this model preserves (they are what the
+paper's mechanism depends on, §4.1):
+
+* **WQEs are bytes in host memory.** Each send/recv ring is a
+  :class:`~repro.hw.memory.MemoryRegion` of 64-byte
+  :class:`~repro.rdma.wqe.Wqe` structs. The engine re-reads a slot at
+  execution time, *through the NIC cache*, so an RDMA WRITE that lands
+  in a ring changes what the NIC executes — remote work-request
+  manipulation is literal, not simulated by fiat.
+* **Deferred ownership.** A WQE whose VALID flag is clear stalls the
+  send queue until something (a doorbell, or remote bytes landing in
+  the ring) makes it valid — the modified-driver behaviour of §4.1.
+* **WAIT work requests.** A WAIT WQE blocks its queue until a target
+  CQ has accumulated a threshold number of completions, then falls
+  through with no wire traffic (CORE-Direct).
+* **Volatile write cache.** Inbound WRITE payloads are ACKed from the
+  NIC cache before reaching memory. A READ (any length, including the
+  0-byte READ gFLUSH issues) drains the cache before responding, which
+  is the paper's durability mechanism (§4.2, gFLUSH).
+* **In-order RC semantics.** Per-QP, requests execute at the responder
+  in posted order and completions are delivered in order.
+
+The CPU is *not* involved anywhere in this module's data path: rings,
+doorbells and CQs are manipulated by the driver (see
+:mod:`repro.rdma.verbs`), and whether a CPU task is needed per message
+is decided entirely by how the layers above use these pieces.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from .wqe import (
+    Cqe,
+    FLAG_SGL,
+    Opcode,
+    WC_REMOTE_ACCESS_ERROR,
+    WC_SUCCESS,
+    Wqe,
+    WQE_SIZE,
+)
+from ..sim import Event, Simulator, Store
+from .memory import MemoryRegion, MemorySystem, WriteCache
+from .network import Fabric
+
+__all__ = ["NicParams", "Rnic", "NicQp", "HwCq", "SGE_SIZE", "pack_sges", "AccessFlags"]
+
+
+SGE_SIZE = 12  # packed (addr: u64, length: u32)
+
+
+def pack_sges(entries: List[Tuple[int, int]]) -> bytes:
+    """Pack a scatter/gather list for an SGL-mode WQE."""
+    return b"".join(struct.pack("<QI", addr, length) for addr, length in entries)
+
+
+def _unpack_sges(data: bytes, count: int) -> List[Tuple[int, int]]:
+    out = []
+    for i in range(count):
+        addr, length = struct.unpack_from("<QI", data, i * SGE_SIZE)
+        out.append((addr, length))
+    return out
+
+
+class AccessFlags:
+    """Memory-registration permissions (subset of ibv_access_flags)."""
+
+    LOCAL = 0x1
+    REMOTE_WRITE = 0x2
+    REMOTE_READ = 0x4
+    REMOTE_ATOMIC = 0x8
+    ALL_REMOTE = REMOTE_WRITE | REMOTE_READ | REMOTE_ATOMIC
+
+
+@dataclass
+class NicParams:
+    """RNIC timing/behaviour constants (ConnectX-3-flavoured)."""
+
+    gbps: float = 56.0
+    wqe_process_ns: int = 150
+    """Send-engine time to fetch, parse and launch one WQE."""
+    rx_process_ns: int = 150
+    """Receive path time to validate and steer one inbound message."""
+    wait_fallthrough_ns: int = 100
+    """Extra latency for a WAIT WQE whose condition is already met."""
+    atomic_ns: int = 250
+    """Additional responder time for an atomic (CAS) operation."""
+    cache_capacity: int = 1 << 20
+    """Volatile write-cache size in bytes."""
+    cache_drain_ns: int = 20_000
+    """Lazy-drain period: how long ACKed data may sit volatile."""
+    qp_cache_entries: int = 256
+    """On-NIC connection-state (ICM) cache: QP contexts resident on
+    the adapter. Touching more QPs than fit thrashes the cache and
+    every miss fetches context over PCIe — the RNIC scalability
+    effect §7 cites ('the scalability of the RDMA NICs decreases with
+    the number of active write-QPs')."""
+    qp_cache_miss_ns: int = 800
+    """Context fetch penalty per QP-cache miss."""
+
+
+@dataclass
+class _WireMsg:
+    """One RC transport message (request or response)."""
+
+    kind: str  # send | write | write_imm | read | cas | ack | resp
+    src_qpn: int
+    dst_qpn: int
+    seq: int = 0
+    payload: bytes = b""
+    addr: int = 0
+    length: int = 0
+    rkey: int = 0
+    compare: int = 0
+    swap: int = 0
+    imm: Optional[int] = None
+    status: int = WC_SUCCESS
+
+
+@dataclass
+class _Registration:
+    """One rkey's scope and permissions."""
+
+    rkey: int
+    addr: int
+    length: int
+    access: int
+
+    def covers(self, addr: int, length: int, needed: int) -> bool:
+        in_range = self.addr <= addr and addr + length <= self.addr + self.length
+        return in_range and (self.access & needed) == needed
+
+
+class HwCq:
+    """A hardware completion queue.
+
+    Tracks the all-time number of CQEs pushed (``completions_total``),
+    which is what WAIT WQEs compare their thresholds against, and
+    offers both polling (:meth:`poll`) and an event channel
+    (:meth:`next_event`) for software consumers.
+    """
+
+    def __init__(self, sim: Simulator, cqn: int, name: str = ""):
+        self.sim = sim
+        self.cqn = cqn
+        self.name = name or f"cq{cqn}"
+        self.entries: List[Cqe] = []
+        self.completions_total = 0
+        self.wait_consumed = 0  # completions consumed by hardware WAITs
+        self._threshold_waiters: List[Tuple[int, Event]] = []
+        self._channel: Optional[Event] = None
+
+    def push(self, cqe: Cqe) -> None:
+        """Deliver a completion; wakes threshold waiters and channel."""
+        self.entries.append(cqe)
+        self.completions_total += 1
+        if self._threshold_waiters:
+            still_waiting = []
+            for threshold, event in self._threshold_waiters:
+                if self.completions_total >= threshold:
+                    event.succeed(self.completions_total)
+                else:
+                    still_waiting.append((threshold, event))
+            self._threshold_waiters = still_waiting
+        if self._channel is not None:
+            channel, self._channel = self._channel, None
+            channel.succeed(cqe)
+
+    def poll(self, max_entries: int = 16) -> List[Cqe]:
+        """Drain up to ``max_entries`` completions (non-blocking)."""
+        taken, self.entries = self.entries[:max_entries], self.entries[max_entries:]
+        return taken
+
+    def next_event(self) -> Event:
+        """Event firing at the next :meth:`push` (completion channel).
+
+        If entries are already pending, fires immediately — software
+        should still :meth:`poll` to drain them.
+        """
+        event = self.sim.event(name=f"{self.name}.channel")
+        if self.entries:
+            event.succeed(self.entries[0])
+            return event
+        if self._channel is None:
+            self._channel = event
+            return event
+        # Multiple waiters: chain onto the existing channel event.
+        self._channel.add_callback(
+            lambda chan: event.succeed(chan.value) if not event.triggered else None
+        )
+        return event
+
+    def threshold_event(self, threshold: int) -> Event:
+        """Event firing once ``completions_total >= threshold`` (WAIT)."""
+        event = self.sim.event(name=f"{self.name}.threshold{threshold}")
+        if self.completions_total >= threshold:
+            event.succeed(self.completions_total)
+        else:
+            self._threshold_waiters.append((threshold, event))
+        return event
+
+    def __repr__(self) -> str:
+        return f"<HwCq {self.name} total={self.completions_total} pending={len(self.entries)}>"
+
+
+@dataclass
+class _PendingSend:
+    """A launched send-queue WQE awaiting ordered completion."""
+
+    wqe: Wqe
+    seq: int
+    done: bool = False
+    status: int = WC_SUCCESS
+    resp_payload: bytes = b""
+
+
+class NicQp:
+    """Hardware state of one queue pair (RC).
+
+    Send and receive rings are memory regions holding packed WQEs;
+    ``*_producer``/``*_consumer`` are absolute (non-wrapping) indices.
+    """
+
+    def __init__(
+        self,
+        nic: "Rnic",
+        qpn: int,
+        send_ring: MemoryRegion,
+        recv_ring: MemoryRegion,
+        send_cq: HwCq,
+        recv_cq: HwCq,
+    ):
+        self.nic = nic
+        self.qpn = qpn
+        self.send_ring = send_ring
+        self.recv_ring = recv_ring
+        self.send_slots = send_ring.length // WQE_SIZE
+        self.recv_slots = recv_ring.length // WQE_SIZE
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.remote: Optional[Tuple[str, int]] = None  # (host, qpn)
+        self.send_producer = 0
+        self.send_consumer = 0
+        self.recv_producer = 0
+        self.recv_consumer = 0
+        self.ingress: Store = Store(nic.sim, name=f"qp{qpn}.ingress")
+        self._kick_event: Optional[Event] = None
+        self._recv_kick_event: Optional[Event] = None
+        self._next_seq = 0
+        self._pending: List[_PendingSend] = []
+        self._engine_started = False
+
+    # -- driver-facing ---------------------------------------------------------
+
+    def connect(self, remote_host: str, remote_qpn: int) -> None:
+        """Transition to RTS against a remote QP (or loopback)."""
+        self.remote = (remote_host, remote_qpn)
+        if not self._engine_started:
+            self._engine_started = True
+            self.nic.sim.spawn(
+                self._send_engine(), name=f"{self.nic.name}/qp{self.qpn}/tx"
+            )
+            self.nic.sim.spawn(
+                self._ingress_engine(), name=f"{self.nic.name}/qp{self.qpn}/rx"
+            )
+
+    def ring_send_doorbell(self, producer: int) -> None:
+        """Tell the NIC the send ring now holds ``producer`` WQEs."""
+        if producer < self.send_producer:
+            raise ValueError("doorbell may not move backwards")
+        self.send_producer = producer
+        self.kick()
+
+    def ring_recv_doorbell(self, producer: int) -> None:
+        """Tell the NIC the recv ring now holds ``producer`` WQEs."""
+        if producer < self.recv_producer:
+            raise ValueError("doorbell may not move backwards")
+        self.recv_producer = producer
+        if self._recv_kick_event is not None and not self._recv_kick_event.triggered:
+            self._recv_kick_event.succeed()
+
+    def kick(self) -> None:
+        """Wake the send engine to (re-)examine the ring."""
+        if self._kick_event is not None and not self._kick_event.triggered:
+            self._kick_event.succeed()
+
+    # -- engine helpers ----------------------------------------------------------
+
+    def _await_kick(self) -> Event:
+        if self._kick_event is None or self._kick_event.triggered:
+            self._kick_event = self.nic.sim.event(name=f"qp{self.qpn}.kick")
+        return self._kick_event
+
+    def _await_recv_kick(self) -> Event:
+        if self._recv_kick_event is None or self._recv_kick_event.triggered:
+            self._recv_kick_event = self.nic.sim.event(name=f"qp{self.qpn}.rkick")
+        return self._recv_kick_event
+
+    def _read_send_wqe(self, index: int) -> Wqe:
+        offset = (index % self.send_slots) * WQE_SIZE
+        raw = self.nic.cache.read(self.send_ring.addr + offset, WQE_SIZE)
+        return Wqe.unpack(raw)
+
+    def _read_recv_wqe(self, index: int) -> Wqe:
+        offset = (index % self.recv_slots) * WQE_SIZE
+        raw = self.nic.cache.read(self.recv_ring.addr + offset, WQE_SIZE)
+        return Wqe.unpack(raw)
+
+    def _gather(self, wqe: Wqe) -> bytes:
+        """Collect a send/write payload, honouring SGL mode."""
+        if wqe.flags & FLAG_SGL:
+            table = self.nic.cache.read(wqe.local_addr, wqe.length * SGE_SIZE)
+            parts = [
+                self.nic.cache.read(addr, length)
+                for addr, length in _unpack_sges(table, wqe.length)
+            ]
+            return b"".join(parts)
+        return self.nic.cache.read(wqe.local_addr, wqe.length)
+
+    def _scatter(self, wqe: Wqe, payload: bytes) -> None:
+        """Place an inbound payload per a recv WQE, honouring SGL mode."""
+        if wqe.flags & FLAG_SGL:
+            table = self.nic.cache.read(wqe.local_addr, wqe.length * SGE_SIZE)
+            cursor = 0
+            for addr, length in _unpack_sges(table, wqe.length):
+                chunk = payload[cursor : cursor + length]
+                if not chunk:
+                    break
+                self.nic.dma_write(addr, chunk)
+                cursor += len(chunk)
+        else:
+            self.nic.dma_write(wqe.local_addr, payload[: wqe.length])
+
+    # -- send engine --------------------------------------------------------------
+
+    def _send_engine(self) -> Generator:
+        sim = self.nic.sim
+        params = self.nic.params
+        while True:
+            if self.send_consumer >= self.send_producer:
+                yield self._await_kick()
+                continue
+            wqe = self._read_send_wqe(self.send_consumer)
+            if not wqe.valid:
+                # Deferred ownership: stall until the ring changes
+                # (doorbell, or remote bytes landing in the ring).
+                yield self._await_kick()
+                continue
+            if wqe.opcode == Opcode.WAIT:
+                # Consuming semantics (CORE-Direct): the WAIT absorbs
+                # ``threshold`` completions from the target CQ, so
+                # pre-posted rounds are lap-invariant and rings can be
+                # re-armed with a doorbell alone.
+                cq = self.nic.cqs[wqe.wait_cqn]
+                need = max(wqe.wait_threshold, 1)
+                # Reserve the completions *now*: concurrent WAITs on a
+                # shared CQ must each claim distinct completions, so
+                # the consumed counter advances at arrival, not at
+                # trigger time.
+                target = cq.wait_consumed + need
+                cq.wait_consumed = target
+                if cq.completions_total < target:
+                    yield cq.threshold_event(target)
+                yield sim.timeout(params.wait_fallthrough_ns)
+                self.send_consumer += 1
+                continue
+            yield sim.timeout(
+                params.wqe_process_ns + self.nic.qp_context_penalty(self.qpn)
+            )
+            self._launch(wqe)
+            self.send_consumer += 1
+
+    def _launch(self, wqe: Wqe) -> None:
+        """Transmit one non-WAIT WQE; completion arrives later in order."""
+        seq = self._next_seq
+        self._next_seq += 1
+        pending = _PendingSend(wqe=wqe, seq=seq)
+        self._pending.append(pending)
+        if wqe.opcode == Opcode.NOP:
+            pending.done = True
+            self._drain_pending()
+            return
+        remote_host, remote_qpn = self.remote
+        if wqe.opcode == Opcode.SEND:
+            payload = self._gather(wqe)
+            msg = _WireMsg("send", self.qpn, remote_qpn, seq, payload=payload)
+            nbytes = len(payload)
+        elif wqe.opcode in (Opcode.WRITE, Opcode.WRITE_IMM):
+            payload = self._gather(wqe)
+            kind = "write_imm" if wqe.opcode == Opcode.WRITE_IMM else "write"
+            msg = _WireMsg(
+                kind,
+                self.qpn,
+                remote_qpn,
+                seq,
+                payload=payload,
+                addr=wqe.remote_addr,
+                rkey=wqe.rkey,
+                imm=wqe.imm if wqe.opcode == Opcode.WRITE_IMM else None,
+            )
+            nbytes = len(payload)
+        elif wqe.opcode == Opcode.READ:
+            msg = _WireMsg(
+                "read",
+                self.qpn,
+                remote_qpn,
+                seq,
+                addr=wqe.remote_addr,
+                length=wqe.length,
+                rkey=wqe.rkey,
+            )
+            nbytes = 0
+        elif wqe.opcode == Opcode.CAS:
+            msg = _WireMsg(
+                "cas",
+                self.qpn,
+                remote_qpn,
+                seq,
+                addr=wqe.remote_addr,
+                rkey=wqe.rkey,
+                compare=wqe.compare,
+                swap=wqe.swap,
+            )
+            nbytes = 8
+        else:
+            raise ValueError(f"send engine cannot execute {wqe!r}")
+        self.nic.transmit(remote_host, msg, nbytes)
+
+    def _on_response(self, msg: _WireMsg) -> None:
+        """ACK/READ-response/CAS-response arrived for seq ``msg.seq``."""
+        for pending in self._pending:
+            if pending.seq == msg.seq:
+                pending.done = True
+                pending.status = msg.status
+                pending.resp_payload = msg.payload
+                break
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        """Complete send WQEs strictly in order."""
+        while self._pending and self._pending[0].done:
+            pending = self._pending.pop(0)
+            wqe = pending.wqe
+            if wqe.opcode == Opcode.READ and pending.status == WC_SUCCESS:
+                if pending.resp_payload:
+                    self.nic.dma_write(wqe.local_addr, pending.resp_payload)
+            elif wqe.opcode == Opcode.CAS and pending.status == WC_SUCCESS:
+                self.nic.dma_write(wqe.local_addr, pending.resp_payload)
+            if wqe.signaled or pending.status != WC_SUCCESS:
+                self.send_cq.push(
+                    Cqe(
+                        wr_id=wqe.wr_id,
+                        opcode=wqe.opcode,
+                        status=pending.status,
+                        qpn=self.qpn,
+                        byte_len=wqe.length,
+                    )
+                )
+
+    # -- ingress engine --------------------------------------------------------------
+
+    def _ingress_engine(self) -> Generator:
+        sim = self.nic.sim
+        params = self.nic.params
+        while True:
+            msg: _WireMsg = yield self.ingress.get()
+            if msg.kind in ("ack", "resp"):
+                self._on_response(msg)
+                continue
+            yield sim.timeout(
+                params.rx_process_ns + self.nic.qp_context_penalty(self.qpn)
+            )
+            if msg.kind == "write":
+                self._rx_write(msg, imm=False)
+            elif msg.kind == "write_imm":
+                yield from self._rx_write_imm(msg)
+            elif msg.kind == "send":
+                yield from self._rx_send(msg)
+            elif msg.kind == "read":
+                yield sim.timeout(0 if msg.length == 0 else msg.length // 64)
+                self._rx_read(msg)
+            elif msg.kind == "cas":
+                yield sim.timeout(params.atomic_ns)
+                self._rx_cas(msg)
+            else:
+                raise ValueError(f"unknown wire message kind {msg.kind!r}")
+
+    def _reply(self, msg: _WireMsg, reply: _WireMsg, nbytes: int) -> None:
+        remote_host, _ = self.remote
+        self.nic.transmit(remote_host, reply, nbytes)
+
+    def _rx_write(self, msg: _WireMsg, imm: bool) -> bool:
+        ok = self.nic.check_remote(msg.rkey, msg.addr, len(msg.payload), AccessFlags.REMOTE_WRITE)
+        if ok:
+            self.nic.dma_write(msg.addr, msg.payload)
+        status = WC_SUCCESS if ok else WC_REMOTE_ACCESS_ERROR
+        if not imm:
+            self._reply(msg, _WireMsg("ack", self.qpn, msg.src_qpn, msg.seq, status=status), 0)
+        return ok
+
+    def _rx_write_imm(self, msg: _WireMsg) -> Generator:
+        ok = self._rx_write(msg, imm=True)
+        wqe = yield from self._consume_recv_wqe()
+        self.recv_cq.push(
+            Cqe(
+                wr_id=wqe.wr_id,
+                opcode=Opcode.WRITE_IMM,
+                status=WC_SUCCESS if ok else WC_REMOTE_ACCESS_ERROR,
+                qpn=self.qpn,
+                byte_len=len(msg.payload),
+                imm=msg.imm,
+            )
+        )
+        self._reply(
+            msg,
+            _WireMsg(
+                "ack",
+                self.qpn,
+                msg.src_qpn,
+                msg.seq,
+                status=WC_SUCCESS if ok else WC_REMOTE_ACCESS_ERROR,
+            ),
+            0,
+        )
+
+    def _rx_send(self, msg: _WireMsg) -> Generator:
+        wqe = yield from self._consume_recv_wqe()
+        self._scatter(wqe, msg.payload)
+        self.recv_cq.push(
+            Cqe(
+                wr_id=wqe.wr_id,
+                opcode=Opcode.SEND,
+                status=WC_SUCCESS,
+                qpn=self.qpn,
+                byte_len=len(msg.payload),
+            )
+        )
+        self._reply(msg, _WireMsg("ack", self.qpn, msg.src_qpn, msg.seq), 0)
+
+    def _consume_recv_wqe(self) -> Generator:
+        while self.recv_consumer >= self.recv_producer:
+            yield self._await_recv_kick()
+        wqe = self._read_recv_wqe(self.recv_consumer)
+        self.recv_consumer += 1
+        return wqe
+
+    def _rx_read(self, msg: _WireMsg) -> None:
+        ok = self.nic.check_remote(msg.rkey, msg.addr, msg.length, AccessFlags.REMOTE_READ)
+        if not ok:
+            self._reply(
+                msg,
+                _WireMsg("resp", self.qpn, msg.src_qpn, msg.seq, status=WC_REMOTE_ACCESS_ERROR),
+                0,
+            )
+            return
+        # The durability mechanism (§4.2): a READ — including the
+        # 0-byte READ issued by gFLUSH — drains the volatile cache
+        # before the response, so the requester's completion implies
+        # all prior WRITEs on this NIC have reached the memory
+        # (persistence) domain.
+        self.nic.cache.flush_all()
+        data = self.nic.memory.read(msg.addr, msg.length)
+        self._reply(
+            msg, _WireMsg("resp", self.qpn, msg.src_qpn, msg.seq, payload=data), msg.length
+        )
+
+    def _rx_cas(self, msg: _WireMsg) -> None:
+        ok = self.nic.check_remote(msg.rkey, msg.addr, 8, AccessFlags.REMOTE_ATOMIC)
+        if not ok:
+            self._reply(
+                msg,
+                _WireMsg("resp", self.qpn, msg.src_qpn, msg.seq, status=WC_REMOTE_ACCESS_ERROR),
+                0,
+            )
+            return
+        self.nic.cache.flush_range(msg.addr, 8)
+        original = self.nic.memory.read(msg.addr, 8)
+        if original == msg.compare.to_bytes(8, "little"):
+            self.nic.memory.write(msg.addr, msg.swap.to_bytes(8, "little"))
+        self._reply(
+            msg, _WireMsg("resp", self.qpn, msg.src_qpn, msg.seq, payload=original), 8
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<NicQp {self.nic.name}/qp{self.qpn} "
+            f"tx={self.send_consumer}/{self.send_producer} "
+            f"rx={self.recv_consumer}/{self.recv_producer}>"
+        )
+
+
+class Rnic:
+    """One host's RDMA NIC: QPs, CQs, rkey table, cache, wire hookup."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        memory: MemorySystem,
+        fabric: Fabric,
+        params: Optional[NicParams] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.memory = memory
+        self.params = params or NicParams()
+        self.cache = WriteCache(memory, capacity=self.params.cache_capacity)
+        self.port = fabric.attach(name, gbps=self.params.gbps)
+        self.port.receive = self._on_wire
+        self.fabric = fabric
+        self.qps: Dict[int, NicQp] = {}
+        self.cqs: Dict[int, HwCq] = {}
+        self._next_qpn = 1
+        self._next_cqn = 1
+        self._next_rkey = 0x1000
+        self._registrations: Dict[int, _Registration] = {}
+        self._watched_rings: List[Tuple[int, int, NicQp]] = []
+        self._drain_scheduled = False
+        self._hot_qps: "OrderedDict[int, None]" = OrderedDict()
+        self.qp_cache_misses = 0
+
+    # -- object creation -----------------------------------------------------------
+
+    def create_cq(self, name: str = "") -> HwCq:
+        cq = HwCq(self.sim, self._next_cqn, name=name or f"{self.name}.cq{self._next_cqn}")
+        self.cqs[cq.cqn] = cq
+        self._next_cqn += 1
+        return cq
+
+    def create_qp(
+        self,
+        send_ring: MemoryRegion,
+        recv_ring: MemoryRegion,
+        send_cq: HwCq,
+        recv_cq: HwCq,
+    ) -> NicQp:
+        qp = NicQp(self, self._next_qpn, send_ring, recv_ring, send_cq, recv_cq)
+        self.qps[qp.qpn] = qp
+        self._next_qpn += 1
+        return qp
+
+    def register(self, addr: int, length: int, access: int) -> _Registration:
+        """Register a memory range; returns the registration (rkey)."""
+        self.memory._check(addr, length)
+        reg = _Registration(self._next_rkey, addr, length, access)
+        self._registrations[reg.rkey] = reg
+        self._next_rkey += 1
+        return reg
+
+    def deregister(self, rkey: int) -> None:
+        self._registrations.pop(rkey, None)
+
+    def watch_ring(self, qp: NicQp, which: str = "send") -> None:
+        """Kick ``qp``'s engine when DMA lands in its ring (HyperLoop).
+
+        This models the NIC re-fetching descriptors: once remote bytes
+        change a pre-posted WQE, the stalled engine re-examines it.
+        """
+        ring = qp.send_ring if which == "send" else qp.recv_ring
+        self._watched_rings.append((ring.addr, ring.end, qp))
+
+    # -- data movement ----------------------------------------------------------------
+
+    def check_remote(self, rkey: int, addr: int, length: int, needed: int) -> bool:
+        """Validate an inbound remote access against the rkey table."""
+        reg = self._registrations.get(rkey)
+        return reg is not None and reg.covers(addr, length, needed)
+
+    def qp_context_penalty(self, qpn: int) -> int:
+        """Nanoseconds of extra processing for touching ``qpn``.
+
+        Zero when the QP context is resident in the on-NIC cache;
+        a PCIe context fetch otherwise (LRU model).
+        """
+        if qpn in self._hot_qps:
+            self._hot_qps.move_to_end(qpn)
+            return 0
+        self.qp_cache_misses += 1
+        self._hot_qps[qpn] = None
+        if len(self._hot_qps) > self.params.qp_cache_entries:
+            self._hot_qps.popitem(last=False)
+        return self.params.qp_cache_miss_ns
+
+    def dma_write(self, addr: int, data: bytes) -> None:
+        """NIC-initiated write: lands in the volatile cache first."""
+        if not data:
+            return
+        self.cache.write(addr, data)
+        self._schedule_drain()
+        end = addr + len(data)
+        for ring_start, ring_end, qp in self._watched_rings:
+            if addr < ring_end and ring_start < end:
+                qp.kick()
+
+    def host_write(self, addr: int, data: bytes) -> None:
+        """CPU store to a region the NIC may also be caching.
+
+        Drains overlapping cached entries first so the engine's
+        cache-overlaid reads cannot resurrect stale bytes over a newer
+        CPU write (the driver re-posting rings uses this).
+        """
+        self.cache.flush_range(addr, len(data))
+        self.memory.write(addr, data)
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        self.sim.call_in(self.params.cache_drain_ns, self._lazy_drain)
+
+    def _lazy_drain(self) -> None:
+        self._drain_scheduled = False
+        self.cache.flush_all()
+
+    def transmit(self, remote_host: str, msg: _WireMsg, nbytes: int) -> None:
+        """Hand a message to the fabric (loopback stays on-NIC)."""
+        self.fabric.send(self.name, remote_host, msg, nbytes)
+
+    def _on_wire(self, src: str, msg: _WireMsg) -> None:
+        qp = self.qps.get(msg.dst_qpn)
+        if qp is None:
+            raise RuntimeError(f"{self.name}: message for unknown QP {msg.dst_qpn}")
+        qp.ingress.put(msg)
+
+    # -- failure injection ---------------------------------------------------------------
+
+    def power_failure(self) -> int:
+        """Drop the volatile cache (with the host losing power).
+
+        Returns the number of cache entries lost. The caller is
+        responsible for also failing the host's memory/OS state.
+        """
+        return self.cache.drop()
+
+    def __repr__(self) -> str:
+        return f"<Rnic {self.name} qps={len(self.qps)}>"

@@ -1,0 +1,78 @@
+"""One-sided remote reads from the client to any replica.
+
+Storage systems read from replicas with RDMA READ — no replica CPU —
+for lock words, lock-free one-sided value reads (the FaRM-style mode
+§5 mentions), and recovery catch-up. This helper owns a dedicated QP
+per replica plus a bounce buffer, serializing readers per QP.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Sequence
+
+from ..hw.cpu import Task
+from ..hw.host import Host
+from ..hw.wqe import FLAG_SIGNALED, FLAG_VALID, Opcode, Wqe
+from ..sim import Resource
+from .verbs import Mr
+
+__all__ = ["RemoteReader"]
+
+_BUFFER_SIZE = 1 << 16
+
+
+class RemoteReader:
+    """Client-side READ channels to each replica's region."""
+
+    def __init__(self, client: Host, replicas: Sequence[Host], mrs: Sequence[Mr], name: str):
+        self.client = client
+        self.mrs = list(mrs)
+        self._qps = []
+        self._locks: List[Resource] = []
+        buffer_region = client.memory.alloc(
+            _BUFFER_SIZE * len(mrs), label=f"{name}.readbuf"
+        )
+        self._buffer = buffer_region
+        for index, replica in enumerate(replicas):
+            qp = client.dev.create_qp(send_slots=32, recv_slots=8, name=f"{name}.rd{index}")
+            remote = replica.dev.create_qp(send_slots=8, recv_slots=8, name=f"{name}.rd{index}r")
+            qp.connect(remote)
+            self._qps.append(qp)
+            self._locks.append(Resource(client.sim, capacity=1, name=f"{name}.rdlock{index}"))
+
+    def pread(self, task: Task, replica: int, offset: int, size: int) -> Generator:
+        """RDMA READ ``size`` bytes at ``offset`` of a replica's region.
+
+        Pays the real round trip; serializes concurrent readers of the
+        same replica. Returns the bytes.
+        """
+        if size > _BUFFER_SIZE:
+            raise ValueError(f"pread larger than bounce buffer: {size}")
+        mr = self.mrs[replica]
+        if offset < 0 or offset + size > mr.length:
+            raise ValueError(f"pread [{offset}, {offset + size}) outside region")
+        qp = self._qps[replica]
+        lock = self._locks[replica]
+        buffer_addr = self._buffer.addr + replica * _BUFFER_SIZE
+        yield from task.wait(lock.acquire())
+        try:
+            yield from task.compute(qp.post_cost(1))
+            expect = qp.send_cq.completions_total + 1
+            qp.post_send(
+                Wqe(
+                    opcode=Opcode.READ,
+                    flags=FLAG_VALID | FLAG_SIGNALED,
+                    length=size,
+                    local_addr=buffer_addr,
+                    remote_addr=mr.addr + offset,
+                    rkey=mr.rkey,
+                )
+            )
+            yield from task.wait(qp.send_cq.threshold_event(expect))
+            cqes = qp.send_cq.poll()
+            if cqes and not cqes[-1].ok:
+                raise RuntimeError(f"pread failed: {cqes[-1]!r}")
+            data = self.client.nic.cache.read(buffer_addr, size)
+        finally:
+            lock.release()
+        return data

@@ -1,0 +1,17 @@
+"""Re-export shim: the WQE/CQE format lives in :mod:`repro.hw.wqe`.
+
+The format is hardware-defined (the NIC parses these bytes), so the
+canonical module sits with the hardware models; this alias keeps the
+verbs-flavoured import path working.
+"""
+
+from ..hw.wqe import *  # noqa: F401,F403
+from ..hw.wqe import (  # noqa: F401
+    OFF_COMPARE,
+    OFF_FLAGS,
+    OFF_LENGTH,
+    OFF_LOCAL_ADDR,
+    OFF_OPCODE,
+    OFF_REMOTE_ADDR,
+    OFF_SWAP,
+)

@@ -1,0 +1,201 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel (:mod:`repro.sim.kernel`) advances virtual time and resumes
+processes. Processes communicate and block on the event types defined
+here. An event is a one-shot occurrence: it starts *pending*, is
+*triggered* exactly once (either succeeding with a value or failing
+with an exception), and then notifies every registered callback.
+
+Events deliberately mirror the small surface of SimPy that distributed
+systems simulations actually need: plain events, timeouts, process
+joins, and ``any``/``all`` composition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "EventFailed",
+    "Interrupt",
+]
+
+
+class EventFailed(Exception):
+    """Raised inside a process when the event it waited on failed."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter
+    supplied, typically a short human-readable reason.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.kernel.Simulator`.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("sim", "name", "_callbacks", "_ok", "_value", "_triggered")
+
+    def __init__(self, sim, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._ok = True
+        self._value: Any = None
+        self._triggered = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has occurred (succeeded or failed)."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded. Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value, or the exception if the event failed."""
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(False, exception)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks:
+            callback(self)
+
+    # -- observation -------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(event)`` once the event triggers.
+
+        If the event already triggered, the callback runs immediately.
+        """
+        if self._callbacks is None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._triggered else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a virtual-time delay.
+
+    Created via :meth:`repro.sim.kernel.Simulator.timeout`; the kernel
+    schedules the trigger at construction.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout+{delay}")
+        self.delay = delay
+        sim._schedule_trigger(delay, self, value)
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AnyOf` and :class:`AllOf`."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim, events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            # Degenerate composition triggers immediately.
+            self.succeed(self._result())
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _result(self) -> dict:
+        return {
+            event: event.value for event in self.events if event.triggered
+        }
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of its child events triggers.
+
+    The value is a dict mapping each already-triggered child event to
+    its value.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._result())
+
+
+class AllOf(_Condition):
+    """Triggers once all child events have triggered.
+
+    Fails fast if any child fails. The value is a dict of every child
+    event to its value.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._result())

@@ -1,0 +1,260 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a priority queue of scheduled triggers and a
+virtual clock in **integer nanoseconds**. Behaviour is expressed as
+*processes*: Python generators that ``yield`` events to block on
+(:mod:`repro.sim.events`). This is the same execution model as SimPy,
+re-implemented here so the whole substrate is self-contained and every
+scheduling decision is inspectable.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, label, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, label))
+>>> _ = sim.spawn(worker(sim, "a", 30))
+>>> _ = sim.spawn(worker(sim, "b", 10))
+>>> sim.run()
+>>> log
+[(10, 'b'), (30, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
+
+__all__ = ["Simulator", "Process", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (deadlock, bad yields, ...)."""
+
+
+class Process(Event):
+    """A running generator, joinable as an event.
+
+    The process event triggers when the generator finishes: it succeeds
+    with the generator's return value, or fails with the uncaught
+    exception. Other processes may ``yield process`` to join it.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim, generator: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise TypeError(f"spawn() requires a generator, got {generator!r}")
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current simulation time, but via
+        # the event queue so spawn order does not reorder side effects
+        # relative to already-scheduled work at the same timestamp.
+        sim._schedule_call(0, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator has finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op. The event the
+        process was waiting on is abandoned (its trigger will find no
+        waiter).
+        """
+        if self.triggered:
+            return
+        self.sim._schedule_call(0, self._throw, Interrupt(cause), None)
+
+    # -- kernel plumbing ---------------------------------------------------
+
+    def _resume(self, send_value: Any, _unused: Any) -> None:
+        self._step(lambda: self.generator.send(send_value))
+
+    def _throw(self, exc: BaseException, _unused: Any) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._throw(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes may only yield Event instances"
+                ),
+                None,
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            # The process was interrupted (or finished) while waiting;
+            # drop the stale wakeup.
+            return
+        self._waiting_on = None
+        # Resume via the event queue (same timestamp, FIFO) rather than
+        # synchronously: a trigger must never re-enter process code in
+        # the middle of whatever call stack fired it. (Concretely: a
+        # driver posting a receive must finish posting before the NIC
+        # process that was blocked on that doorbell runs.)
+        if event.ok:
+            self.sim._schedule_call(0, self._resume, event.value, None)
+        else:
+            exc = event.value
+            if not isinstance(exc, BaseException):
+                exc = EventFailed(exc)
+            self.sim._schedule_call(0, self._deferred_throw, exc, None)
+
+    def _deferred_throw(self, exc: BaseException, _unused: Any) -> None:
+        if self.triggered:
+            return
+        self._step(lambda: self.generator.throw(exc))
+
+
+class Simulator:
+    """Event loop and virtual clock (integer nanoseconds).
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator's root RNG. Components should derive
+        their own streams via :meth:`rng` so experiment results are
+        reproducible regardless of construction order.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: int = 0
+        self.seed = seed
+        self._queue: list = []
+        self._sequence = 0
+        self._running = False
+        self._process_count = 0
+        self._root_rng = random.Random(seed)
+
+    # -- randomness --------------------------------------------------------
+
+    def rng(self, label: str) -> random.Random:
+        """Return a deterministic RNG stream for ``label``.
+
+        Streams are independent of the order in which components ask
+        for them: the stream seed is derived from ``(simulator seed,
+        label)`` only.
+        """
+        return random.Random(f"{self.seed}/{label}")
+
+    # -- event construction -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering when the first of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        self._process_count += 1
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------
+
+    def call_at(self, time: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now={self.now}"
+            )
+        self._push(time, fn, args)
+
+    def call_in(self, delay: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` ns."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._push(self.now + int(delay), fn, args)
+
+    def _schedule_call(self, delay: int, fn: Callable, a: Any, b: Any) -> None:
+        self._push(self.now + int(delay), fn, (a, b))
+
+    def _schedule_trigger(self, delay: int, event: Event, value: Any) -> None:
+        self._push(self.now + int(delay), event.succeed, (value,))
+
+    def _push(self, time: int, fn: Callable, args: tuple) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, fn, args))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final value of :attr:`now`. When ``until`` is given
+        the clock is advanced exactly to it even if the last event fired
+        earlier, so back-to-back ``run(until=...)`` calls tile time.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, fn, args = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = time
+                fn(*args)
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Spawn ``generator``, run to completion, and return its result.
+
+        Convenience for tests and benchmarks that drive one top-level
+        scenario. Raises the process's exception if it failed.
+        """
+        process = self.spawn(generator, name=name)
+        self.run()
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name!r} never finished; "
+                "it is blocked on an event nobody will trigger"
+            )
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of triggers currently scheduled (diagnostic)."""
+        return len(self._queue)

@@ -1,0 +1,156 @@
+"""Shared-resource primitives built on the event kernel.
+
+Three abstractions cover everything the hardware models need:
+
+* :class:`Resource` — N identical slots with a FIFO wait queue
+  (used for e.g. DMA engines and link arbitration).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``
+  (used for e.g. NIC ingress queues and mailboxes).
+* :class:`TokenBucket` — a rate limiter for modelling line rates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .events import Event
+from .kernel import Simulator
+
+__all__ = ["Resource", "Store", "TokenBucket"]
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with FIFO granting.
+
+    Usage inside a process::
+
+        grant = resource.acquire()
+        yield grant
+        try:
+            ...  # hold the slot
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquires waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        grant = self.sim.event(name=f"{self.name}.grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return a slot to the pool, granting the next waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot straight to the next waiter; _in_use is
+            # unchanged because ownership transfers.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO with blocking ``get``.
+
+    ``put`` never blocks. ``get`` returns an event whose value is the
+    item; if an item is already queued, the event is pre-triggered.
+    Items are delivered to getters in request order.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event yielding the next item."""
+        request = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            request.succeed(self._items.popleft())
+        else:
+            self._getters.append(request)
+        return request
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek(self) -> Optional[Any]:
+        """Return the head item without removing it (``None`` if empty)."""
+        return self._items[0] if self._items else None
+
+
+class TokenBucket:
+    """A serialization-rate model: bytes per nanosecond with FIFO order.
+
+    ``transmit(nbytes)`` returns an event that fires when the last byte
+    of the message has left, accounting for everything queued ahead of
+    it. This models a link or engine that serializes work at a fixed
+    rate without spawning a process per message.
+    """
+
+    def __init__(self, sim: Simulator, bytes_per_ns: float, name: str = ""):
+        if bytes_per_ns <= 0:
+            raise ValueError("bytes_per_ns must be positive")
+        self.sim = sim
+        self.bytes_per_ns = bytes_per_ns
+        self.name = name
+        self._free_at = 0  # virtual time the serializer becomes idle
+
+    @property
+    def busy_until(self) -> int:
+        """Virtual time at which all queued work will have drained."""
+        return max(self._free_at, self.sim.now)
+
+    def transmit(self, nbytes: int, extra_delay: int = 0) -> Event:
+        """Serialize ``nbytes``; the event fires at drain time.
+
+        ``extra_delay`` (e.g. propagation latency) is added after
+        serialization and does not occupy the serializer.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        start = max(self._free_at, self.sim.now)
+        duration = int(round(nbytes / self.bytes_per_ns))
+        self._free_at = start + duration
+        done = self.sim.event(name=f"{self.name}.tx")
+        self.sim.call_at(self._free_at + extra_delay, done.succeed, None)
+        return done

@@ -1,0 +1,87 @@
+"""A tiny BSON-like document codec.
+
+Documents are ``dict[str, str | bytes | int]``. The encoding is
+length-prefixed and deterministic (fields in insertion order), so a
+document round-trips bit-for-bit — which matters because document
+images are replicated and compared across replicas.
+
+Format::
+
+    magic u16 | n_fields u16
+    per field: key_len u16 | type u8 | value_len u32 | key | value
+
+Types: 1 = bytes, 2 = utf-8 string, 3 = signed 64-bit int.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Union
+
+__all__ = ["encode_document", "decode_document", "DocumentError"]
+
+Value = Union[str, bytes, int]
+
+_DOC_MAGIC = 0xD0C5
+_HEAD = struct.Struct("<HH")
+_FIELD = struct.Struct("<HBI")
+
+_TYPE_BYTES = 1
+_TYPE_STR = 2
+_TYPE_INT = 3
+
+
+class DocumentError(ValueError):
+    """Malformed document bytes or unsupported value type."""
+
+
+def encode_document(fields: Dict[str, Value]) -> bytes:
+    """Serialize a document."""
+    parts = [_HEAD.pack(_DOC_MAGIC, len(fields))]
+    for key, value in fields.items():
+        key_bytes = key.encode("utf-8")
+        if isinstance(value, bool):
+            raise DocumentError("bool fields are not supported")
+        if isinstance(value, bytes):
+            type_code, payload = _TYPE_BYTES, value
+        elif isinstance(value, str):
+            type_code, payload = _TYPE_STR, value.encode("utf-8")
+        elif isinstance(value, int):
+            type_code, payload = _TYPE_INT, struct.pack("<q", value)
+        else:
+            raise DocumentError(f"unsupported field type {type(value).__name__}")
+        parts.append(_FIELD.pack(len(key_bytes), type_code, len(payload)))
+        parts.append(key_bytes)
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_document(raw: bytes) -> Dict[str, Value]:
+    """Inverse of :func:`encode_document`."""
+    if len(raw) < _HEAD.size:
+        raise DocumentError("truncated document header")
+    magic, n_fields = _HEAD.unpack_from(raw, 0)
+    if magic != _DOC_MAGIC:
+        raise DocumentError(f"bad document magic {magic:#x}")
+    fields: Dict[str, Value] = {}
+    cursor = _HEAD.size
+    for _ in range(n_fields):
+        if cursor + _FIELD.size > len(raw):
+            raise DocumentError("truncated field header")
+        key_len, type_code, value_len = _FIELD.unpack_from(raw, cursor)
+        cursor += _FIELD.size
+        if cursor + key_len + value_len > len(raw):
+            raise DocumentError("truncated field body")
+        key = raw[cursor : cursor + key_len].decode("utf-8")
+        cursor += key_len
+        payload = raw[cursor : cursor + value_len]
+        cursor += value_len
+        if type_code == _TYPE_BYTES:
+            fields[key] = bytes(payload)
+        elif type_code == _TYPE_STR:
+            fields[key] = payload.decode("utf-8")
+        elif type_code == _TYPE_INT:
+            (fields[key],) = struct.unpack("<q", payload)
+        else:
+            raise DocumentError(f"unknown field type {type_code}")
+    return fields

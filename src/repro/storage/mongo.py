@@ -1,0 +1,176 @@
+"""MongoDB-flavoured deployments of the document store.
+
+Two shapes, matching how the paper uses MongoDB:
+
+* **Native server** (:class:`MongoServer` + :class:`MongoClient`) —
+  vanilla deployment for the §2.2 motivation study (Figure 2): a
+  *primary process* on a storage server receives queries over the
+  network, parses them on its (contended) CPU, and drives a
+  CPU-based replication chain to the backups. Every query pays the
+  primary daemon's scheduling delay — that is the effect Figure 2
+  measures as replica-set count and core count vary.
+
+* **Split front-end** (:class:`split_mongo`) — the §5.2 modification:
+  the front end is integrated with the client, the backend is a chain
+  of replicas. With a :class:`~repro.core.group.HyperLoopGroup`
+  backend the replication path is NIC-offloaded; with a
+  :class:`~repro.baseline.naive.NaiveGroup` backend it is the
+  polling/event CPU path (the Figure 12 "native replication"
+  comparison point).
+
+Queries and responses are encoded documents (see
+:mod:`repro.storage.encoding`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Sequence
+
+from ..baseline import NaiveGroup
+from ..core import HyperLoopGroup
+from ..hw.cpu import Task
+from ..hw.host import Host
+from ..rdma.rpc import RpcChannel, RpcServer
+from .docstore import DocStoreError, ReplicatedDocStore
+from .encoding import Value, decode_document, encode_document
+
+__all__ = ["MongoServer", "MongoClient", "split_mongo"]
+
+
+class MongoServer:
+    """A native primary: RPC service + CPU-replicated document store."""
+
+    def __init__(
+        self,
+        primary: Host,
+        backups: Sequence[Host],
+        region_size: int = 1 << 20,
+        rounds: int = 128,
+        replica_mode: str = "event",
+        server_mode: str = "event",
+        parse_ns: int = 60_000,
+        name: str = "mongo",
+    ):
+        self.primary = primary
+        self.group = NaiveGroup(
+            primary,
+            backups,
+            region_size=region_size,
+            rounds=rounds,
+            replica_mode=replica_mode,
+            client_mode="event",
+            name=f"{name}.rs",
+        )
+        self.store = ReplicatedDocStore(self.group, parse_ns=parse_ns, name=f"{name}.docs")
+        self.rpc = RpcServer(primary, self._handle, mode=server_mode, name=f"{name}.rpc")
+
+    def connect(self, client_host: Host) -> "MongoClient":
+        """Open a client connection from ``client_host``."""
+        return MongoClient(self.rpc.attach(client_host))
+
+    def _handle(self, task: Task, request: bytes) -> Generator:
+        query = decode_document(request)
+        op = query.pop("_op")
+        doc_id = query.pop("_id", b"")
+        try:
+            if op == "insert":
+                yield from self.store.insert(task, doc_id, query)
+                return encode_document({"ok": 1})
+            if op == "update":
+                yield from self.store.update(task, doc_id, query)
+                return encode_document({"ok": 1})
+            if op == "modify":
+                yield from self.store.modify(task, doc_id, query)
+                return encode_document({"ok": 1})
+            if op == "delete":
+                yield from self.store.delete(task, doc_id)
+                return encode_document({"ok": 1})
+            if op == "read":
+                document = yield from self.store.read_local(task, doc_id)
+                if document is None:
+                    return encode_document({"ok": 0, "error": "not found"})
+                return encode_document({"ok": 1, **document})
+            if op == "scan":
+                count = query.pop("_count", 10)
+                documents = yield from self.store.scan(task, doc_id, count)
+                # Serving a scan costs CPU per returned document; the
+                # response carries only ids + sizes (summary), which is
+                # all the benchmarks check.
+                summary = ",".join(
+                    d["_id"].hex() if isinstance(d["_id"], bytes) else str(d["_id"])
+                    for d in documents
+                )
+                return encode_document({"ok": 1, "n": len(documents), "ids": summary})
+        except DocStoreError as exc:
+            return encode_document({"ok": 0, "error": str(exc)})
+        return encode_document({"ok": 0, "error": f"bad op {op!r}"})
+
+
+class MongoClient:
+    """Client handle to a native :class:`MongoServer`."""
+
+    def __init__(self, channel: RpcChannel):
+        self.channel = channel
+
+    def _call(self, task: Task, query: Dict[str, Value]) -> Generator:
+        response = yield from self.channel.call(task, encode_document(query))
+        return decode_document(response)
+
+    def insert(self, task: Task, doc_id: bytes, fields: Dict[str, Value]) -> Generator:
+        reply = yield from self._call(task, {"_op": "insert", "_id": doc_id, **fields})
+        return reply
+
+    def update(self, task: Task, doc_id: bytes, fields: Dict[str, Value]) -> Generator:
+        reply = yield from self._call(task, {"_op": "update", "_id": doc_id, **fields})
+        return reply
+
+    def modify(self, task: Task, doc_id: bytes, fields: Dict[str, Value]) -> Generator:
+        reply = yield from self._call(task, {"_op": "modify", "_id": doc_id, **fields})
+        return reply
+
+    def read(self, task: Task, doc_id: bytes) -> Generator:
+        reply = yield from self._call(task, {"_op": "read", "_id": doc_id})
+        return reply
+
+    def scan(self, task: Task, start_id: bytes, count: int) -> Generator:
+        reply = yield from self._call(
+            task, {"_op": "scan", "_id": start_id, "_count": count}
+        )
+        return reply
+
+    def delete(self, task: Task, doc_id: bytes) -> Generator:
+        reply = yield from self._call(task, {"_op": "delete", "_id": doc_id})
+        return reply
+
+
+def split_mongo(
+    client: Host,
+    replicas: Sequence[Host],
+    offloaded: bool,
+    region_size: int = 1 << 20,
+    rounds: int = 256,
+    replica_mode: str = "polling",
+    parse_ns: int = 60_000,
+    name: str = "mongo",
+) -> ReplicatedDocStore:
+    """Build the §5.2 front-end/back-end split deployment.
+
+    ``offloaded=True`` → HyperLoop backend (NIC chains);
+    ``offloaded=False`` → the same store over the Naïve-RDMA backend
+    (``replica_mode`` selects polling or event daemons) — Figure 12's
+    native-replication comparison point.
+    """
+    if offloaded:
+        group = HyperLoopGroup(
+            client, replicas, region_size=region_size, rounds=rounds, name=f"{name}.hl"
+        )
+    else:
+        group = NaiveGroup(
+            client,
+            replicas,
+            region_size=region_size,
+            rounds=rounds,
+            replica_mode=replica_mode,
+            name=f"{name}.nv",
+        )
+    return ReplicatedDocStore(group, parse_ns=parse_ns, name=f"{name}.docs")

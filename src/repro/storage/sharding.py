@@ -1,0 +1,134 @@
+"""A sharded replicated store: partitions over replication groups.
+
+§2.2 describes the deployment HyperLoop targets: servers host
+**hundreds of partitions**, each an independent replica set. This
+module provides the partitioning layer — a keyspace hashed across
+shards, each shard one replicated transaction manager — plus
+cross-shard atomicity via the 2PC coordinator.
+
+The read/write paths stay NIC-offloaded per shard; only placement
+logic (pure client-side hashing) is added.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Generator, Optional, Sequence, Tuple
+
+from ..hw.cpu import Task
+from .transactions import TransactionManager
+from .twophase import TwoPhaseCoordinator
+
+__all__ = ["ShardedStore"]
+
+_SLOT = struct.Struct("<HI")  # key length, value length
+
+
+class ShardedStore:
+    """Fixed-slot key-value storage hashed across shards.
+
+    Each shard's DB area is carved into ``slot_size`` buckets; a key
+    maps to ``(shard, bucket)`` by hash. Collisions within a bucket
+    overwrite (callers needing open addressing should layer it above;
+    the benchmarks use keyspaces sized to the bucket count).
+
+    Parameters
+    ----------
+    managers:
+        One :class:`TransactionManager` per shard.
+    slot_size:
+        Bytes per bucket (header + key + value must fit).
+    """
+
+    def __init__(self, managers: Sequence[TransactionManager], slot_size: int = 256):
+        if not managers:
+            raise ValueError("need at least one shard")
+        self.managers = list(managers)
+        self.slot_size = slot_size
+        self.coordinator = TwoPhaseCoordinator(managers)
+        # Bucket count per shard (reserving the 2PC decision slot).
+        self._buckets = [
+            (manager.layout.db_size - 16) // slot_size for manager in managers
+        ]
+        if min(self._buckets) < 1:
+            raise ValueError("DB areas too small for a single bucket")
+
+    # -- placement ---------------------------------------------------------------
+
+    def locate(self, key: bytes) -> Tuple[int, int]:
+        """Deterministic ``(shard, db_offset)`` for a key."""
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        value = int.from_bytes(digest, "little")
+        shard = value % len(self.managers)
+        bucket = (value >> 16) % self._buckets[shard]
+        return shard, bucket * self.slot_size
+
+    def _encode(self, key: bytes, value: bytes) -> bytes:
+        record = _SLOT.pack(len(key), len(value)) + key + value
+        if len(record) > self.slot_size:
+            raise ValueError(
+                f"key+value of {len(record)} bytes exceeds slot of {self.slot_size}"
+            )
+        return record
+
+    @staticmethod
+    def _decode(raw: bytes, key: bytes) -> Optional[bytes]:
+        key_len, value_len = _SLOT.unpack_from(raw, 0)
+        if key_len == 0 and value_len == 0:
+            return None
+        cursor = _SLOT.size
+        stored = bytes(raw[cursor : cursor + key_len])
+        if stored != key:
+            return None  # different key hashed here
+        cursor += key_len
+        return bytes(raw[cursor : cursor + value_len])
+
+    # -- operations -----------------------------------------------------------------
+
+    def put(self, task: Task, key: bytes, value: bytes) -> Generator:
+        """Single-key durable put (one shard transaction)."""
+        shard, offset = self.locate(key)
+        yield from self.managers[shard].transact(
+            task, [(offset, self._encode(key, value))]
+        )
+
+    def get(self, task: Task, key: bytes, replica: int = 0) -> Generator:
+        """One-sided read from the owning shard."""
+        shard, offset = self.locate(key)
+        raw = yield from self.managers[shard].read(
+            task, offset, self.slot_size, replica=replica
+        )
+        return self._decode(raw, key)
+
+    def put_many(self, task: Task, items: Sequence[Tuple[bytes, bytes]]) -> Generator:
+        """Atomic multi-key put.
+
+        Keys on one shard ride a single shard transaction; keys
+        spanning shards go through two-phase commit, so the batch is
+        all-or-nothing across the cluster.
+        """
+        if not items:
+            raise ValueError("empty batch")
+        changes = []
+        shards = set()
+        for key, value in items:
+            shard, offset = self.locate(key)
+            shards.add(shard)
+            changes.append((shard, offset, self._encode(key, value)))
+        if len(shards) == 1:
+            shard = shards.pop()
+            yield from self.managers[shard].transact(
+                task, [(offset, data) for _, offset, data in changes]
+            )
+        else:
+            yield from self.coordinator.transact(task, changes)
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.managers)
+
+    def shard_of(self, key: bytes) -> int:
+        return self.locate(key)[0]

@@ -1,0 +1,23 @@
+"""Workload generators: YCSB (Table 3) and microbenchmark drivers."""
+
+from .ycsb import (
+    LatestGenerator,
+    Operation,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    WORKLOADS,
+    WorkloadMix,
+    YcsbWorkload,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "YcsbWorkload",
+    "WorkloadMix",
+    "WORKLOADS",
+    "Operation",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "UniformGenerator",
+]

@@ -1,0 +1,245 @@
+"""YCSB workload generator (Cooper et al., SoCC 2010).
+
+Re-implements the pieces the paper's evaluation uses: the standard
+key-choosers (uniform, zipfian, scrambled zipfian, latest) and the
+workload mixes of Table 3:
+
+    ========  =====  =======  ======  ======  ====
+    Workload  Read   Update   Insert  Modify  Scan
+    A         50     50       --      --      --
+    B         95     5        --      --      --
+    D         95     --       5       --      --
+    E         --     --       5       --      95
+    F         50     --       --      50      --
+    ========  =====  =======  ======  ======  ====
+
+("Modify" is YCSB's read-modify-write.) Distributions follow the
+reference implementation: A/B/F use scrambled-zipfian over the key
+space, D uses "latest", E uses scrambled-zipfian scan starts with
+uniform scan lengths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+__all__ = [
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "UniformGenerator",
+    "WorkloadMix",
+    "WORKLOADS",
+    "YcsbWorkload",
+    "Operation",
+]
+
+ZIPFIAN_CONSTANT = 0.99
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an int, as YCSB uses to scramble zipfian picks."""
+    data = value.to_bytes(8, "little")
+    accumulator = _FNV_OFFSET
+    for byte in data:
+        accumulator ^= byte
+        accumulator = (accumulator * _FNV_PRIME) & 0xFFFF_FFFF_FFFF_FFFF
+    return accumulator
+
+
+class UniformGenerator:
+    """Uniform choice over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, rng: random.Random):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self.rng = rng
+
+    def next(self) -> int:
+        return self.rng.randrange(self.item_count)
+
+
+class ZipfianGenerator:
+    """Gray et al. incremental zipfian generator (YCSB's algorithm).
+
+    Favors low item numbers; theta defaults to the YCSB constant.
+    """
+
+    def __init__(self, item_count: int, rng: random.Random, theta: float = ZIPFIAN_CONSTANT):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self.rng = rng
+        self.theta = theta
+        self.zeta_n = self._zeta(item_count, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.zeta2 = self._zeta(2, theta)
+        denominator = 1 - self.zeta2 / self.zeta_n
+        if item_count <= 2 or denominator == 0:
+            # Degenerate keyspaces: the alpha branch is never the
+            # right answer, fall through to the first-two-items cases.
+            self.eta = 0.0
+        else:
+            self.eta = (1 - (2.0 / item_count) ** (1 - theta)) / denominator
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1 if self.item_count > 1 else 0
+        value = int(self.item_count * (self.eta * u - self.eta + 1) ** self.alpha)
+        return min(value, self.item_count - 1)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity spread over the key space by FNV hashing.
+
+    Hot keys are scattered rather than clustered at low ids — the
+    distribution YCSB workloads A/B/E/F actually use.
+    """
+
+    def __init__(self, item_count: int, rng: random.Random):
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, rng)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.item_count
+
+
+class LatestGenerator:
+    """Skewed towards recently inserted items (workload D)."""
+
+    def __init__(self, item_count: int, rng: random.Random):
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, rng)
+
+    def next(self) -> int:
+        offset = self._zipf.next() % self.item_count
+        return self.item_count - 1 - offset
+
+    def grow(self) -> None:
+        """Record an insert: the newest item becomes the hottest."""
+        self.item_count += 1
+        self._zipf = ZipfianGenerator(self.item_count, self._zipf.rng)
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Operation proportions of one YCSB workload (Table 3)."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    modify: float = 0.0  # read-modify-write
+    scan: float = 0.0
+    distribution: str = "zipfian"  # zipfian | latest | uniform
+    max_scan_length: int = 100
+
+    def __post_init__(self):
+        total = self.read + self.update + self.insert + self.modify + self.scan
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: proportions sum to {total}, not 1")
+
+
+WORKLOADS: Dict[str, WorkloadMix] = {
+    "A": WorkloadMix("A", read=0.50, update=0.50),
+    "B": WorkloadMix("B", read=0.95, update=0.05),
+    "D": WorkloadMix("D", read=0.95, insert=0.05, distribution="latest"),
+    "E": WorkloadMix("E", insert=0.05, scan=0.95),
+    "F": WorkloadMix("F", read=0.50, modify=0.50),
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One generated YCSB operation."""
+
+    kind: str  # read | update | insert | modify | scan
+    key: int
+    value_size: int = 0
+    scan_length: int = 0
+
+
+class YcsbWorkload:
+    """Stream of :class:`Operation` for one workload mix.
+
+    Parameters
+    ----------
+    mix:
+        One of :data:`WORKLOADS` (or a custom mix).
+    record_count:
+        Initial number of loaded records.
+    value_size:
+        Payload bytes per record (the paper uses 1024-byte values).
+    seed:
+        Generator seed (deterministic streams).
+    """
+
+    def __init__(
+        self,
+        mix: WorkloadMix,
+        record_count: int,
+        value_size: int = 1024,
+        seed: int = 0,
+    ):
+        self.mix = mix
+        self.record_count = record_count
+        self.value_size = value_size
+        self.rng = random.Random(f"ycsb/{mix.name}/{seed}")
+        self.inserted = record_count
+        if mix.distribution == "latest":
+            self._chooser = LatestGenerator(record_count, self.rng)
+        elif mix.distribution == "uniform":
+            self._chooser = UniformGenerator(record_count, self.rng)
+        else:
+            self._chooser = ScrambledZipfianGenerator(record_count, self.rng)
+        self._scan_rng = random.Random(f"ycsb-scan/{mix.name}/{seed}")
+
+    def _next_key(self) -> int:
+        key = self._chooser.next()
+        # Choosers are built over the initial keyspace; clamp into the
+        # live keyspace (inserts extend it).
+        return key % self.inserted
+
+    def next_operation(self) -> Operation:
+        """Draw one operation from the mix."""
+        roll = self.rng.random()
+        mix = self.mix
+        if roll < mix.read:
+            return Operation("read", self._next_key())
+        roll -= mix.read
+        if roll < mix.update:
+            return Operation("update", self._next_key(), value_size=self.value_size)
+        roll -= mix.update
+        if roll < mix.insert:
+            key = self.inserted
+            self.inserted += 1
+            if isinstance(self._chooser, LatestGenerator):
+                self._chooser.grow()
+            return Operation("insert", key, value_size=self.value_size)
+        roll -= mix.insert
+        if roll < mix.modify:
+            return Operation("modify", self._next_key(), value_size=self.value_size)
+        length = 1 + self._scan_rng.randrange(mix.max_scan_length)
+        return Operation("scan", self._next_key(), scan_length=length)
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """Yield ``count`` operations."""
+        for _ in range(count):
+            yield self.next_operation()
+
+    def load_keys(self) -> Iterator[int]:
+        """Keys for the initial load phase."""
+        return iter(range(self.record_count))

@@ -1,0 +1,130 @@
+"""Integration tests for the sharded store."""
+
+import pytest
+
+from repro.bench import run_until
+from repro.core import HyperLoopGroup
+from repro.hw import Cluster
+from repro.sim import Simulator
+from repro.storage.sharding import ShardedStore
+from repro.storage.transactions import TransactionManager
+
+
+def make(n_shards=3, seed=91):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    managers = [
+        TransactionManager(
+            HyperLoopGroup(
+                cluster[0], cluster.hosts[1:4], region_size=1 << 16,
+                rounds=16, name=f"s{index}",
+            ),
+            writer_id=7,
+        )
+        for index in range(n_shards)
+    ]
+    return sim, cluster, ShardedStore(managers, slot_size=128)
+
+
+def drive(sim, cluster, body, until_ms=20_000):
+    done = {}
+
+    def wrapper(task):
+        done["r"] = yield from body(task)
+
+    task = cluster[0].os.spawn(wrapper, "client")
+    run_until(
+        sim, lambda: "r" in done or task.process.triggered, deadline_ms=until_ms
+    )
+    if task.process.triggered and not task.process.ok:
+        raise task.process.value
+    return done["r"]
+
+
+class TestPlacement:
+    def test_locate_is_deterministic_and_aligned(self):
+        _, _, store = make()
+        for key in (b"a", b"hello", b"user123"):
+            shard, offset = store.locate(key)
+            assert store.locate(key) == (shard, offset)
+            assert 0 <= shard < 3
+            assert offset % store.slot_size == 0
+
+    def test_keys_spread_across_shards(self):
+        _, _, store = make()
+        shards = {store.shard_of(f"key{i}".encode()) for i in range(64)}
+        assert shards == {0, 1, 2}
+
+
+class TestOps:
+    def test_put_get_roundtrip(self):
+        sim, cluster, store = make()
+
+        def body(task):
+            yield from store.put(task, b"alpha", b"value-alpha")
+            value = yield from store.get(task, b"alpha", replica=1)
+            missing = yield from store.get(task, b"never-written")
+            return value, missing
+
+        value, missing = drive(sim, cluster, body)
+        assert value == b"value-alpha"
+        assert missing is None
+
+    def test_value_too_large_rejected(self):
+        sim, cluster, store = make()
+
+        def body(task):
+            with pytest.raises(ValueError):
+                yield from store.put(task, b"k", b"v" * 500)
+            yield from task.sleep(0)
+            return True
+
+        drive(sim, cluster, body)
+
+    def test_cross_shard_batch_is_atomic(self):
+        sim, cluster, store = make()
+        # Find keys on different shards.
+        keys = [f"key{i}".encode() for i in range(64)]
+        key_a = next(k for k in keys if store.shard_of(k) == 0)
+        key_b = next(k for k in keys if store.shard_of(k) == 1)
+
+        def body(task):
+            yield from store.put_many(
+                task, [(key_a, b"batch-a"), (key_b, b"batch-b")]
+            )
+            a = yield from store.get(task, key_a)
+            b = yield from store.get(task, key_b)
+            return a, b
+
+        assert drive(sim, cluster, body) == (b"batch-a", b"batch-b")
+        assert store.coordinator.commits == 1
+
+    def test_same_shard_batch_skips_2pc(self):
+        sim, cluster, store = make()
+        keys = [f"key{i}".encode() for i in range(128)]
+        shard0 = [k for k in keys if store.shard_of(k) == 0][:2]
+
+        def body(task):
+            yield from store.put_many(
+                task, [(shard0[0], b"x"), (shard0[1], b"y")]
+            )
+            return True
+
+        drive(sim, cluster, body)
+        assert store.coordinator.commits == 0  # single-shard fast path
+
+    def test_values_survive_on_all_replicas(self):
+        sim, cluster, store = make()
+
+        def body(task):
+            yield from store.put(task, b"durable-key", b"durable-value")
+            return True
+
+        drive(sim, cluster, body)
+        shard, offset = store.locate(b"durable-key")
+        manager = store.managers[shard]
+        for replica in range(3):
+            raw = manager.group.read_replica(
+                replica, manager.layout.db_position(offset), store.slot_size
+            )
+            assert ShardedStore._decode(raw, b"durable-key") == b"durable-value"

@@ -1,0 +1,171 @@
+"""Integration tests for cross-shard two-phase commit."""
+
+import pytest
+
+from repro.bench import run_until
+from repro.core import HyperLoopGroup
+from repro.hw import Cluster
+from repro.sim import MS, Simulator
+from repro.storage.transactions import TransactionManager
+from repro.storage.twophase import TwoPhaseCoordinator
+
+
+def make(n_shards=2, seed=81):
+    sim = Simulator(seed=seed)
+    # Each shard gets its own 3-replica chain over a shared 4-host
+    # cluster (shards co-locate, as partitions do in §2.2).
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    shards = []
+    for index in range(n_shards):
+        group = HyperLoopGroup(
+            cluster[0], cluster.hosts[1:4], region_size=1 << 17,
+            rounds=32, name=f"shard{index}",
+        )
+        shards.append(TransactionManager(group, writer_id=7))
+    coordinator = TwoPhaseCoordinator(shards)
+    return sim, cluster, shards, coordinator
+
+
+def drive(sim, cluster, body, until_ms=10_000):
+    done = {}
+
+    def wrapper(task):
+        done["r"] = yield from body(task)
+
+    task = cluster[0].os.spawn(wrapper, "coord")
+    run_until(
+        sim, lambda: "r" in done or task.process.triggered, deadline_ms=until_ms
+    )
+    if task.process.triggered and not task.process.ok:
+        raise task.process.value
+    return done["r"]
+
+
+def shard_db(shard, replica, offset, size):
+    return shard.group.read_replica(
+        replica, shard.layout.db_position(offset), size
+    )
+
+
+class TestCommit:
+    def test_cross_shard_transaction_applies_everywhere(self):
+        sim, cluster, shards, coordinator = make()
+
+        def body(task):
+            txid = yield from coordinator.transact(
+                task, [(0, 0, b"shard0-data"), (1, 64, b"shard1-data")]
+            )
+            return txid
+
+        assert drive(sim, cluster, body) == 1
+        for replica in range(3):
+            assert shard_db(shards[0], replica, 0, 11) == b"shard0-data"
+            assert shard_db(shards[1], replica, 64, 11) == b"shard1-data"
+        assert coordinator.commits == 1
+        # All locks released.
+        for shard in shards:
+            assert shard.locks.holder(0) == 0
+
+    def test_single_shard_transaction(self):
+        sim, cluster, shards, coordinator = make()
+
+        def body(task):
+            yield from coordinator.transact(task, [(1, 0, b"only-one")])
+            return True
+
+        drive(sim, cluster, body)
+        assert shard_db(shards[1], 2, 0, 8) == b"only-one"
+
+    def test_sequential_transactions(self):
+        sim, cluster, shards, coordinator = make()
+
+        def body(task):
+            for index in range(4):
+                yield from coordinator.transact(
+                    task,
+                    [(0, index * 32, bytes([index]) * 8), (1, index * 32, bytes([index]) * 8)],
+                )
+            return True
+
+        drive(sim, cluster, body, until_ms=20_000)
+        assert coordinator.commits == 4
+        for index in range(4):
+            assert shard_db(shards[0], 0, index * 32, 8) == bytes([index]) * 8
+
+    def test_validation(self):
+        sim, cluster, shards, coordinator = make()
+
+        def body(task):
+            with pytest.raises(ValueError):
+                yield from coordinator.transact(task, [])
+            with pytest.raises(ValueError):
+                yield from coordinator.transact(task, [(9, 0, b"x")])
+            with pytest.raises(ValueError):
+                yield from coordinator.transact(
+                    task, [(0, shards[0].layout.db_size - 4, b"clobber-marker")]
+                )
+            yield from task.sleep(0)
+            return True
+
+        drive(sim, cluster, body)
+
+
+class TestCrashRecovery:
+    def _prepare_only(self, coordinator, shards, task):
+        """Run phase 1 by hand (simulating a crash before decide)."""
+        for shard in shards:
+            yield from shard.locks.wr_lock(task, coordinator.writer_id)
+        yield from shards[0].log.append(task, [(0, b"prepared0")])
+        yield from shards[1].log.append(task, [(0, b"prepared1")])
+
+    def test_crash_before_decision_aborts(self):
+        sim, cluster, shards, coordinator = make()
+
+        def phase1(task):
+            yield from self._prepare_only(coordinator, shards, task)
+            return True
+
+        drive(sim, cluster, phase1)
+
+        def phase2(task):
+            outcome = yield from coordinator.recover(task)
+            return outcome
+
+        assert drive(sim, cluster, phase2) == "abort"
+        # Nothing applied; locks free; logs empty.
+        for shard in shards:
+            assert shard_db(shard, 0, 0, 9) == bytes(9)
+            assert shard.locks.holder(0) == 0
+            assert not shard.log.pending_records()
+
+    def test_crash_after_decision_rolls_forward(self):
+        sim, cluster, shards, coordinator = make()
+
+        def phase1(task):
+            yield from self._prepare_only(coordinator, shards, task)
+            yield from coordinator._write_decision(task, 1)
+            return True
+
+        drive(sim, cluster, phase1)
+
+        def phase2(task):
+            outcome = yield from coordinator.recover(task)
+            return outcome
+
+        assert drive(sim, cluster, phase2) == "commit"
+        for replica in range(3):
+            assert shard_db(shards[0], replica, 0, 9) == b"prepared0"
+            assert shard_db(shards[1], replica, 0, 9) == b"prepared1"
+        for shard in shards:
+            assert shard.locks.holder(0) == 0
+
+    def test_recover_on_clean_state_is_noop(self):
+        sim, cluster, shards, coordinator = make()
+
+        def body(task):
+            yield from coordinator.transact(task, [(0, 0, b"clean")])
+            outcome = yield from coordinator.recover(task)
+            return outcome
+
+        assert drive(sim, cluster, body) == "clean"
+        assert shard_db(shards[0], 1, 0, 5) == b"clean"

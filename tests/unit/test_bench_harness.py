@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark harness (repro.bench)."""
+
+import pytest
+
+from repro.bench import CpuMeter, LatencyRecorder, format_table, run_until
+from repro.hw import Cluster
+from repro.sim import MS, Simulator
+
+
+class TestLatencyRecorder:
+    def test_stats_basic(self):
+        recorder = LatencyRecorder("r")
+        for sample in [1000, 2000, 3000, 4000]:
+            recorder.record(sample)
+        stats = recorder.stats()
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.p50 == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(5000)
+        stats = recorder.stats()
+        assert stats.p50 == stats.p99 == stats.mean == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().stats()
+
+    def test_percentiles_match_numpy(self):
+        import numpy
+
+        samples = [i * 137 % 10007 for i in range(500)]
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.record(sample)
+        stats = recorder.stats()
+        values = numpy.array(samples) / 1000.0
+        assert stats.p50 == pytest.approx(numpy.percentile(values, 50))
+        assert stats.p95 == pytest.approx(numpy.percentile(values, 95))
+        assert stats.p99 == pytest.approx(numpy.percentile(values, 99))
+
+    def test_row_rounding(self):
+        recorder = LatencyRecorder()
+        recorder.record(1234)
+        row = recorder.stats().row()
+        assert row["n"] == 1 and row["avg_us"] == 1.23
+
+
+class TestRunUntil:
+    def test_stops_when_done(self):
+        sim = Simulator()
+        flag = {}
+        sim.call_in(3 * MS, lambda: flag.setdefault("y", 1))
+        run_until(sim, lambda: "y" in flag, deadline_ms=100)
+        assert "y" in flag
+        assert sim.now < 20 * MS
+
+    def test_raises_on_deadline(self):
+        sim = Simulator()
+        with pytest.raises(TimeoutError):
+            run_until(sim, lambda: False, deadline_ms=10)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table("Title", ["a", "long_col"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "long_col" in lines[1]
+        assert "1" in lines[3] and "2" in lines[3]
+        assert "333" in lines[4]
+
+    def test_empty_rows(self):
+        table = format_table("T", ["x"], [])
+        assert "x" in table
+
+
+class TestCpuMeter:
+    def test_measures_stress_load(self):
+        sim = Simulator()
+        cluster = Cluster(sim, n_hosts=1, n_cores=2)
+        cluster[0].os.spawn_stress("hog")
+        meter = CpuMeter([cluster[0].os])
+        meter.start(sim)
+        sim.run(until=10 * MS)
+        assert 0.4 <= meter.utilization(sim) <= 0.6

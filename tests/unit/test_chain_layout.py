@@ -1,0 +1,127 @@
+"""Unit tests for HyperLoop chain layout and blob construction."""
+
+import pytest
+
+from repro.core import HyperLoopGroup, OpSpec, SKIP_SENTINEL
+from repro.core.chain import GCAS, GMEMCPY, GWRITE
+from repro.hw import Cluster
+from repro.hw.wqe import Opcode, WQE_SIZE, Wqe
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def group():
+    sim = Simulator(seed=41)
+    cluster = Cluster(sim, n_hosts=4, n_cores=2)
+    return HyperLoopGroup(
+        cluster[0], cluster.hosts[1:4], region_size=1 << 16, rounds=8,
+        autostart=False, name="lg",
+    )
+
+
+class TestLayout:
+    def test_blob_sizes(self, group):
+        chain = group.chains[GWRITE]
+        assert chain.result_size == 3 * 8
+        assert chain.blob_size == 3 * 8 + 3 * WQE_SIZE
+        assert chain.payload_size == chain.blob_size + WQE_SIZE
+
+    def test_slots_per_round(self, group):
+        # durable gwrite: WAIT + WRITE + flush READ + SEND
+        assert group.chains[GWRITE].spr_next == 4
+        # gmemcpy/gcas downstream: WAIT + SEND
+        assert group.chains[GMEMCPY].spr_next == 2
+        # durable gmemcpy loopback: WAIT + copy + flush READ
+        assert group.chains[GMEMCPY].spr_loop == 3
+        # gcas loopback: WAIT + CAS
+        assert group.chains[GCAS].spr_loop == 2
+
+    def test_loopback_only_where_needed(self, group):
+        assert not group.chains[GWRITE].uses_loopback
+        assert group.chains[GMEMCPY].uses_loopback
+        assert group.chains[GCAS].uses_loopback
+
+    def test_op_slot_addresses_fall_in_the_right_ring(self, group):
+        chain = group.chains[GWRITE]
+        for replica in range(2):  # non-tail replicas
+            for round_ in range(20):
+                addr = chain.op_slot_addr(replica, round_)
+                ring = chain.replicas[replica].qp_next.send_ring
+                assert ring.addr <= addr < ring.addr + ring.length
+        cas_chain = group.chains[GCAS]
+        for replica in range(3):
+            addr = cas_chain.op_slot_addr(replica, 5)
+            ring = cas_chain.replicas[replica].qp_loop.send_ring
+            assert ring.addr <= addr < ring.addr + ring.length
+
+    def test_op_slots_wrap_with_ring(self, group):
+        chain = group.chains[GWRITE]
+        assert chain.op_slot_addr(0, 0) == chain.op_slot_addr(0, chain.rounds)
+
+    def test_staging_slots_are_disjoint_per_round(self, group):
+        chain = group.chains[GWRITE]
+        state = chain.replicas[0]
+        addresses = {
+            chain.staging_slot_addr(state, round_) for round_ in range(chain.rounds)
+        }
+        assert len(addresses) == chain.rounds
+
+
+class TestBlobConstruction:
+    def test_gwrite_patch_targets_next_replica(self, group):
+        chain = group.chains[GWRITE]
+        patch = Wqe.unpack(chain.build_patch(0, 0, OpSpec(GWRITE, offset=100, size=50)))
+        assert patch.opcode == Opcode.WRITE
+        assert patch.valid
+        assert patch.length == 50
+        assert patch.local_addr == group.replica_mrs[0].addr + 100
+        assert patch.remote_addr == group.replica_mrs[1].addr + 100
+        assert patch.rkey == group.replica_mrs[1].rkey
+
+    def test_gwrite_tail_patch_is_blank(self, group):
+        chain = group.chains[GWRITE]
+        assert chain.build_patch(2, 0, OpSpec(GWRITE, offset=0, size=8)) == bytes(WQE_SIZE)
+
+    def test_gmemcpy_patch_is_local_loopback_write(self, group):
+        chain = group.chains[GMEMCPY]
+        patch = Wqe.unpack(
+            chain.build_patch(1, 0, OpSpec(GMEMCPY, src_offset=0, dst_offset=4096, size=64))
+        )
+        assert patch.opcode == Opcode.WRITE
+        assert patch.local_addr == group.replica_mrs[1].addr
+        assert patch.remote_addr == group.replica_mrs[1].addr + 4096
+        assert patch.rkey == group.replica_mrs[1].rkey
+
+    def test_gcas_patch_execute_map(self, group):
+        chain = group.chains[GCAS]
+        spec = OpSpec(GCAS, offset=8, compare=1, swap=2, execute_map=[True, False, True])
+        executed = Wqe.unpack(chain.build_patch(0, 0, spec))
+        skipped = Wqe.unpack(chain.build_patch(1, 0, spec))
+        assert executed.opcode == Opcode.CAS
+        assert executed.compare == 1 and executed.swap == 2
+        assert skipped.opcode == Opcode.NOP
+        assert skipped.signaled  # a NOP must still advance the WAIT
+
+    def test_gcas_result_lands_in_staging(self, group):
+        chain = group.chains[GCAS]
+        patch = Wqe.unpack(chain.build_patch(1, 3, OpSpec(GCAS, offset=0, compare=0, swap=1)))
+        state = chain.replicas[1]
+        expected = chain.staging_slot_addr(state, 3) + 1 * 8
+        assert patch.local_addr == expected
+
+    def test_payload_is_blob_plus_head_patch(self, group):
+        chain = group.chains[GWRITE]
+        spec = OpSpec(GWRITE, offset=0, size=16)
+        payload = chain.build_payload(0, spec)
+        assert len(payload) == chain.payload_size
+        # Result map initialized to the skip sentinel.
+        sentinel = SKIP_SENTINEL.to_bytes(8, "little")
+        assert payload[: chain.result_size] == sentinel * 3
+        # Trailing patch equals replica 0's patch.
+        head_patch = chain.build_patch(0, 0, spec)
+        assert payload[-WQE_SIZE:] == head_patch
+
+    def test_retired_rounds_starts_at_zero(self, group):
+        chain = group.chains[GWRITE]
+        for replica in range(3):
+            assert chain.retired_rounds(replica) == 0

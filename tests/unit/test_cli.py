@@ -1,0 +1,57 @@
+"""Unit tests for the CLI (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_latency_defaults(self):
+        args = build_parser().parse_args(["latency"])
+        assert args.system == "hyperloop"
+        assert args.size == 1024 and args.ops == 2000
+
+    def test_latency_options(self):
+        args = build_parser().parse_args(
+            ["latency", "--system", "naive-polling", "--size", "4096",
+             "--primitive", "gcas", "--ops", "100", "--stress", "2"]
+        )
+        assert args.system == "naive-polling"
+        assert args.primitive == "gcas"
+        assert args.size == 4096
+
+    def test_bad_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["latency", "--system", "quantum"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig12_workload_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig12", "--workload", "Z"])
+
+
+class TestExecution:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "fig12" in out
+
+    def test_tiny_latency_run(self, capsys):
+        code = main(
+            ["latency", "--ops", "30", "--stress", "0", "--size", "256"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hyperloop" in out and "p99" in out
+
+    def test_tiny_throughput_run(self, capsys):
+        code = main(["throughput", "--mbytes", "1", "--size", "8192"])
+        assert code == 0
+        assert "Kops/s" in capsys.readouterr().out

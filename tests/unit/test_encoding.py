@@ -1,0 +1,59 @@
+"""Unit tests for the document codec (repro.storage.encoding)."""
+
+import pytest
+
+from repro.storage.encoding import DocumentError, decode_document, encode_document
+
+
+class TestRoundtrip:
+    def test_mixed_types(self):
+        doc = {"_id": b"k1", "name": "alice", "age": 42, "blob": b"\x00\x01"}
+        assert decode_document(encode_document(doc)) == doc
+
+    def test_empty_document(self):
+        assert decode_document(encode_document({})) == {}
+
+    def test_field_order_preserved(self):
+        doc = {"z": 1, "a": 2, "m": 3}
+        assert list(decode_document(encode_document(doc))) == ["z", "a", "m"]
+
+    def test_negative_and_large_ints(self):
+        doc = {"neg": -12345, "big": 2**62}
+        assert decode_document(encode_document(doc)) == doc
+
+    def test_unicode_strings(self):
+        doc = {"greeting": "héllo wörld ☺"}
+        assert decode_document(encode_document(doc)) == doc
+
+    def test_large_binary_value(self):
+        doc = {"payload": bytes(range(256)) * 64}
+        assert decode_document(encode_document(doc)) == doc
+
+    def test_deterministic(self):
+        doc = {"a": 1, "b": b"x"}
+        assert encode_document(doc) == encode_document(doc)
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(DocumentError):
+            encode_document({"f": 1.5})
+
+    def test_bool_rejected(self):
+        with pytest.raises(DocumentError):
+            encode_document({"f": True})
+
+    def test_bad_magic(self):
+        raw = bytearray(encode_document({"a": 1}))
+        raw[0] ^= 0xFF
+        with pytest.raises(DocumentError):
+            decode_document(bytes(raw))
+
+    def test_truncated(self):
+        raw = encode_document({"a": b"0123456789"})
+        with pytest.raises(DocumentError):
+            decode_document(raw[: len(raw) - 4])
+
+    def test_empty_bytes(self):
+        with pytest.raises(DocumentError):
+            decode_document(b"")

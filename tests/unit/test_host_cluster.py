@@ -1,0 +1,63 @@
+"""Unit tests for Host and Cluster wiring."""
+
+import pytest
+
+from repro.hw import Cluster, Host
+from repro.hw.network import Fabric
+from repro.sim import Simulator
+
+
+class TestHost:
+    def test_components_wired(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        host = Host(sim, "h0", fabric, n_cores=4)
+        assert len(host.os.cores) == 4
+        assert host.nic.memory is host.memory
+        assert host.dev.nic is host.nic
+        assert "h0" in fabric.ports
+
+    def test_hyperloop_driver_default(self):
+        sim = Simulator()
+        host = Host(sim, "h", Fabric(sim))
+        assert host.dev.hyperloop
+
+    def test_stock_driver_option(self):
+        sim = Simulator()
+        host = Host(sim, "h", Fabric(sim), hyperloop_driver=False)
+        assert not host.dev.hyperloop
+
+    def test_power_failure_clears_volatile_state(self):
+        sim = Simulator()
+        host = Host(sim, "h", Fabric(sim), dram_size=1 << 16, nvm_size=1 << 16)
+        host.memory.write(100, b"dram")
+        nvm = host.memory.alloc(64, nvm=True)
+        nvm.write(0, b"nvm!")
+        host.nic.cache.write(nvm.addr + 32, b"volatile")
+        host.power_failure()
+        assert host.memory.read(100, 4) == bytes(4)
+        assert nvm.read(0, 4) == b"nvm!"
+        assert nvm.read(32, 8) == bytes(8)  # unflushed NIC write reverted
+
+
+class TestCluster:
+    def test_hosts_share_one_fabric(self):
+        sim = Simulator()
+        cluster = Cluster(sim, n_hosts=3)
+        fabrics = {host.nic.fabric for host in cluster.hosts}
+        assert len(fabrics) == 1
+        assert len(cluster) == 3
+
+    def test_indexing_and_lookup(self):
+        sim = Simulator()
+        cluster = Cluster(sim, n_hosts=2)
+        assert cluster[1] is cluster.hosts[1]
+        assert cluster.host("host0") is cluster[0]
+        with pytest.raises(KeyError):
+            cluster.host("nope")
+
+    def test_unique_names(self):
+        sim = Simulator()
+        cluster = Cluster(sim, n_hosts=4)
+        names = [host.name for host in cluster.hosts]
+        assert len(set(names)) == 4

@@ -1,0 +1,113 @@
+"""Unit tests for completion-queue semantics (HwCq)."""
+
+import pytest
+
+from repro.hw.nic import HwCq
+from repro.hw.wqe import Cqe, Opcode
+from repro.sim import Simulator
+
+
+def cqe(wr_id=0):
+    return Cqe(wr_id=wr_id, opcode=Opcode.SEND)
+
+
+class TestPollAndCount:
+    def test_poll_drains_in_order(self):
+        cq = HwCq(Simulator(), 1)
+        for index in range(5):
+            cq.push(cqe(index))
+        assert [c.wr_id for c in cq.poll(3)] == [0, 1, 2]
+        assert [c.wr_id for c in cq.poll(3)] == [3, 4]
+        assert cq.poll() == []
+
+    def test_completions_total_never_decreases(self):
+        cq = HwCq(Simulator(), 1)
+        cq.push(cqe())
+        cq.poll()
+        assert cq.completions_total == 1
+        cq.push(cqe())
+        assert cq.completions_total == 2
+
+
+class TestThresholdEvents:
+    def test_fires_at_threshold(self):
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        event = cq.threshold_event(3)
+        cq.push(cqe())
+        cq.push(cqe())
+        assert not event.triggered
+        cq.push(cqe())
+        assert event.triggered and event.value == 3
+
+    def test_already_met_threshold_fires_immediately(self):
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        cq.push(cqe())
+        assert cq.threshold_event(1).triggered
+
+    def test_multiple_waiters_different_thresholds(self):
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        first = cq.threshold_event(1)
+        third = cq.threshold_event(3)
+        cq.push(cqe())
+        assert first.triggered and not third.triggered
+        cq.push(cqe())
+        cq.push(cqe())
+        assert third.triggered
+
+
+class TestChannel:
+    def test_next_event_fires_on_push(self):
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        event = cq.next_event()
+        assert not event.triggered
+        cq.push(cqe(7))
+        assert event.triggered
+        assert event.value.wr_id == 7
+
+    def test_next_event_pretriggered_when_entries_pending(self):
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        cq.push(cqe(9))
+        event = cq.next_event()
+        assert event.triggered and event.value.wr_id == 9
+        # The entry is still there for poll().
+        assert cq.poll()[0].wr_id == 9
+
+    def test_multiple_channel_waiters_all_wake(self):
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        first = cq.next_event()
+        second = cq.next_event()
+        cq.push(cqe())
+        assert first.triggered and second.triggered
+
+
+class TestWaitConsumption:
+    """The consuming-WAIT bookkeeping (CORE-Direct semantics)."""
+
+    def test_wait_consumed_starts_at_zero(self):
+        cq = HwCq(Simulator(), 1)
+        assert cq.wait_consumed == 0
+
+    def test_reservation_model(self):
+        """The engine reserves at WAIT arrival; two WAITs on a shared
+        CQ claim distinct completions (regression test for the
+        fan-out trigger race)."""
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        # Simulate two engines arriving concurrently.
+        target_a = cq.wait_consumed + 1
+        cq.wait_consumed = target_a
+        target_b = cq.wait_consumed + 1
+        cq.wait_consumed = target_b
+        assert (target_a, target_b) == (1, 2)
+        event_a = cq.threshold_event(target_a)
+        event_b = cq.threshold_event(target_b)
+        cq.push(cqe())
+        assert event_a.triggered and not event_b.triggered
+        cq.push(cqe())
+        assert event_b.triggered

@@ -1,0 +1,152 @@
+"""Edge-case unit tests for the RNIC engines."""
+
+import pytest
+
+from repro.hw import AccessFlags, Cluster
+from repro.hw.wqe import FLAG_SGL, FLAG_SIGNALED, FLAG_VALID, Opcode, Wqe
+from repro.sim import MS, Simulator, US
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=19)
+    cluster = Cluster(sim, n_hosts=2, n_cores=2)
+    a, b = cluster[0], cluster[1]
+    qp_a = a.dev.create_qp(name="a")
+    qp_b = b.dev.create_qp(name="b")
+    qp_a.connect(qp_b)
+    buf_a = a.memory.alloc(8192)
+    buf_b = b.memory.alloc(8192)
+    mr_b = b.dev.reg_mr(buf_b, AccessFlags.ALL_REMOTE)
+    return sim, a, b, qp_a, qp_b, buf_a, buf_b, mr_b
+
+
+class TestZeroLength:
+    def test_zero_length_write_completes(self, rig):
+        sim, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        qp_a.post_send(
+            Wqe(
+                opcode=Opcode.WRITE,
+                flags=FLAG_SIGNALED,
+                length=0,
+                local_addr=buf_a.addr,
+                remote_addr=buf_b.addr,
+                rkey=mr_b.rkey,
+            )
+        )
+        sim.run(until=1 * MS)
+        cqes = qp_a.send_cq.poll()
+        assert len(cqes) == 1 and cqes[0].ok
+
+    def test_zero_length_send_consumes_recv(self, rig):
+        sim, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        qp_b.post_recv(Wqe(local_addr=buf_b.addr, length=64, wr_id=5))
+        qp_a.post_send(Wqe(opcode=Opcode.SEND, length=0, local_addr=buf_a.addr))
+        sim.run(until=1 * MS)
+        cqes = qp_b.recv_cq.poll()
+        assert len(cqes) == 1 and cqes[0].wr_id == 5 and cqes[0].byte_len == 0
+
+
+class TestGatherWrite:
+    def test_sgl_gather_on_write(self, rig):
+        """WRITE can gather from an SGE table too (used by the tail's
+        result-map ack)."""
+        sim, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        buf_a.write(0, b"AA")
+        buf_a.write(512, b"BBB")
+        table = a.dev.sge_table_bytes([(buf_a.addr, 2), (buf_a.addr + 512, 3)])
+        buf_a.write(4096, table)
+        qp_a.post_send(
+            Wqe(
+                opcode=Opcode.WRITE,
+                flags=FLAG_SGL | FLAG_SIGNALED,
+                length=2,
+                local_addr=buf_a.addr + 4096,
+                remote_addr=buf_b.addr,
+                rkey=mr_b.rkey,
+            )
+        )
+        sim.run(until=1 * MS)
+        assert qp_a.send_cq.poll()[0].ok
+        assert b.nic.cache.read(buf_b.addr, 5) == b"AABBB"
+
+
+class TestOrderingAcrossOpcodes:
+    def test_write_then_read_then_send_execute_in_order(self, rig):
+        """RC in-order execution at the responder: the READ's flush
+        covers the preceding WRITE; the SEND observes both."""
+        sim, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        buf_a.write(0, b"ordered!")
+        qp_b.post_recv(Wqe(local_addr=buf_b.addr + 4096, length=64))
+        qp_a.post_send(
+            Wqe(
+                opcode=Opcode.WRITE,
+                length=8,
+                local_addr=buf_a.addr,
+                remote_addr=buf_b.addr,
+                rkey=mr_b.rkey,
+            )
+        )
+        qp_a.post_send(
+            Wqe(
+                opcode=Opcode.READ,
+                length=0,
+                local_addr=buf_a.addr + 100,
+                remote_addr=buf_b.addr,
+                rkey=mr_b.rkey,
+            )
+        )
+        qp_a.post_send(
+            Wqe(opcode=Opcode.SEND, flags=FLAG_SIGNALED, length=8, local_addr=buf_a.addr)
+        )
+        sim.run(until=1 * MS)
+        # By the time the SEND completed, the WRITE must be durable
+        # (the 0-byte READ between them flushed the cache).
+        assert qp_a.send_cq.completions_total >= 1
+        b.nic.cache.drop()
+        assert buf_b.read(0, 8) == b"ordered!"
+
+
+class TestCacheDrainScheduling:
+    def test_single_drain_scheduled_for_burst(self, rig):
+        sim, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        for index in range(10):
+            qp_a.post_send(
+                Wqe(
+                    opcode=Opcode.WRITE,
+                    length=8,
+                    local_addr=buf_a.addr,
+                    remote_addr=buf_b.addr + index * 8,
+                    rkey=mr_b.rkey,
+                )
+            )
+        sim.run(until=1 * MS)
+        assert not b.nic.cache.dirty  # lazy drain happened
+        assert buf_b.read(0, 8) == bytes(8)
+
+    def test_unknown_qp_message_raises(self, rig):
+        sim, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        from repro.hw.nic import _WireMsg
+
+        with pytest.raises(RuntimeError, match="unknown QP"):
+            b.nic._on_wire("a", _WireMsg("write", 1, 9999))
+
+
+class TestHostWriteCoherence:
+    def test_host_write_not_resurrected_by_cache(self, rig):
+        """A CPU store over a region the NIC recently wrote must not
+        be undone by later cache activity (driver reposting rings)."""
+        sim, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        qp_a.post_send(
+            Wqe(
+                opcode=Opcode.WRITE,
+                length=8,
+                local_addr=buf_a.addr,
+                remote_addr=buf_b.addr,
+                rkey=mr_b.rkey,
+            )
+        )
+        sim.run(until=10 * US)  # delivered, still in the volatile window
+        b.nic.host_write(buf_b.addr, b"CPUWRITE")
+        b.nic.cache.drop()  # power-failure-style revert of other entries
+        assert buf_b.read(0, 8) == b"CPUWRITE"

@@ -1,0 +1,173 @@
+"""Unit tests for the RPC layer and the one-sided remote reader."""
+
+import pytest
+
+from repro.bench import run_until
+from repro.hw import AccessFlags, Cluster
+from repro.rdma.reader import RemoteReader
+from repro.rdma.rpc import RpcServer
+from repro.sim import MS, Simulator, US
+
+
+class TestRpc:
+    def _echo_server(self, host, mode="event"):
+        def handler(task, request):
+            yield from task.compute(2 * US)
+            return b"echo:" + request
+
+        return RpcServer(host, handler, mode=mode, name="echo")
+
+    def test_request_response(self):
+        sim = Simulator(seed=3)
+        cluster = Cluster(sim, n_hosts=2, n_cores=2)
+        server = self._echo_server(cluster[1])
+        channel = server.attach(cluster[0])
+        done = {}
+
+        def client(task):
+            reply = yield from channel.call(task, b"hello")
+            done["r"] = reply
+
+        cluster[0].os.spawn(client, "c")
+        run_until(sim, lambda: "r" in done, deadline_ms=100)
+        assert done["r"] == b"echo:hello"
+        assert server.requests_served == 1
+
+    def test_many_sequential_calls(self):
+        sim = Simulator(seed=4)
+        cluster = Cluster(sim, n_hosts=2, n_cores=2)
+        server = self._echo_server(cluster[1])
+        channel = server.attach(cluster[0])
+        done = {}
+
+        def client(task):
+            replies = []
+            for index in range(20):
+                reply = yield from channel.call(task, f"m{index}".encode())
+                replies.append(reply)
+            done["r"] = replies
+
+        cluster[0].os.spawn(client, "c")
+        run_until(sim, lambda: "r" in done, deadline_ms=500)
+        assert done["r"][0] == b"echo:m0" and done["r"][19] == b"echo:m19"
+
+    def test_multiple_channels_one_server(self):
+        sim = Simulator(seed=5)
+        cluster = Cluster(sim, n_hosts=3, n_cores=2)
+        server = self._echo_server(cluster[2])
+        channels = [server.attach(cluster[0]), server.attach(cluster[1])]
+        done = {}
+
+        def client(index):
+            def body(task):
+                reply = yield from channels[index].call(task, f"c{index}".encode())
+                done[index] = reply
+
+            return body
+
+        cluster[0].os.spawn(client(0), "c0")
+        cluster[1].os.spawn(client(1), "c1")
+        run_until(sim, lambda: len(done) == 2, deadline_ms=200)
+        assert done[0] == b"echo:c0" and done[1] == b"echo:c1"
+
+    def test_server_pays_cpu(self):
+        """The whole point of the native path: serving costs server CPU."""
+        sim = Simulator(seed=6)
+        cluster = Cluster(sim, n_hosts=2, n_cores=2)
+        server = self._echo_server(cluster[1])
+        channel = server.attach(cluster[0])
+        done = {}
+
+        def client(task):
+            for _ in range(5):
+                yield from channel.call(task, b"x")
+            done["r"] = 1
+
+        cluster[0].os.spawn(client, "c")
+        run_until(sim, lambda: "r" in done, deadline_ms=200)
+        assert server.task.cpu_ns > 5 * 2 * US
+
+    def test_polling_mode(self):
+        sim = Simulator(seed=7)
+        cluster = Cluster(sim, n_hosts=2, n_cores=2)
+        server = self._echo_server(cluster[1], mode="polling")
+        channel = server.attach(cluster[0])
+        done = {}
+
+        def client(task):
+            done["r"] = yield from channel.call(task, b"p")
+
+        cluster[0].os.spawn(client, "c")
+        run_until(sim, lambda: "r" in done, deadline_ms=200)
+        assert done["r"] == b"echo:p"
+
+
+class TestRemoteReader:
+    def _rig(self):
+        sim = Simulator(seed=8)
+        cluster = Cluster(sim, n_hosts=3, n_cores=2)
+        client = cluster[0]
+        replicas = cluster.hosts[1:3]
+        mrs = []
+        for host in replicas:
+            region = host.memory.alloc(4096)
+            mrs.append(host.dev.reg_mr(region, AccessFlags.ALL_REMOTE))
+        reader = RemoteReader(client, replicas, mrs, "rd")
+        return sim, cluster, client, replicas, mrs, reader
+
+    def test_reads_correct_replica(self):
+        sim, cluster, client, replicas, mrs, reader = self._rig()
+        mrs[0].region.write(100, b"replica-zero")
+        mrs[1].region.write(100, b"replica-one!")
+        done = {}
+
+        def body(task):
+            first = yield from reader.pread(task, 0, 100, 12)
+            second = yield from reader.pread(task, 1, 100, 12)
+            done["r"] = (first, second)
+
+        client.os.spawn(body, "c")
+        run_until(sim, lambda: "r" in done, deadline_ms=100)
+        assert done["r"] == (b"replica-zero", b"replica-one!")
+
+    def test_no_replica_cpu_used(self):
+        sim, cluster, client, replicas, mrs, reader = self._rig()
+        done = {}
+
+        def body(task):
+            yield from reader.pread(task, 0, 0, 64)
+            done["r"] = 1
+
+        client.os.spawn(body, "c")
+        run_until(sim, lambda: "r" in done, deadline_ms=100)
+        assert all(host.os.busy_ns == 0 for host in replicas)
+
+    def test_bounds_checked(self):
+        sim, cluster, client, replicas, mrs, reader = self._rig()
+        done = {}
+
+        def body(task):
+            with pytest.raises(ValueError):
+                yield from reader.pread(task, 0, 4090, 100)
+            yield from task.sleep(0)
+            done["r"] = 1
+
+        client.os.spawn(body, "c")
+        run_until(sim, lambda: "r" in done, deadline_ms=100)
+
+    def test_concurrent_readers_serialized_per_replica(self):
+        sim, cluster, client, replicas, mrs, reader = self._rig()
+        mrs[0].region.write(0, b"A" * 64)
+        done = {}
+
+        def body(label):
+            def gen(task):
+                data = yield from reader.pread(task, 0, 0, 64)
+                done[label] = data
+
+            return gen
+
+        client.os.spawn(body("x"), "x")
+        client.os.spawn(body("y"), "y")
+        run_until(sim, lambda: len(done) == 2, deadline_ms=100)
+        assert done["x"] == done["y"] == b"A" * 64

@@ -1,0 +1,127 @@
+"""Unit tests for the WAL format (repro.storage.wal)."""
+
+import struct
+
+import pytest
+
+from repro.storage.wal import (
+    LogEntry,
+    LogRecord,
+    RECORD_MAGIC,
+    RegionLayout,
+    WRAP_MAGIC,
+    scan_records,
+)
+
+
+class TestLogRecord:
+    def test_roundtrip(self):
+        record = LogRecord.make(7, [(100, b"hello"), (200, b"world!")])
+        decoded = LogRecord.deserialize(record.serialize())
+        assert decoded == record
+
+    def test_serialized_size_matches(self):
+        record = LogRecord.make(1, [(0, b"x" * 13)])
+        assert len(record.serialize()) == record.serialized_size
+
+    def test_eight_byte_alignment(self):
+        for length in range(1, 20):
+            record = LogRecord.make(0, [(0, b"a" * length)])
+            assert record.serialized_size % 8 == 0
+
+    def test_empty_record(self):
+        record = LogRecord.make(3, [])
+        decoded = LogRecord.deserialize(record.serialize())
+        assert decoded.lsn == 3 and decoded.entries == ()
+
+    def test_bad_magic_returns_none(self):
+        raw = bytearray(LogRecord.make(0, [(0, b"data")]).serialize())
+        raw[0] ^= 0xFF
+        assert LogRecord.deserialize(bytes(raw)) is None
+
+    def test_truncated_body_returns_none(self):
+        raw = LogRecord.make(0, [(0, b"data" * 10)]).serialize()
+        assert LogRecord.deserialize(raw[: len(raw) - 8]) is None
+
+    def test_torn_write_detected(self):
+        """A record whose tail was lost to a power failure must not
+        deserialize successfully."""
+        raw = bytearray(LogRecord.make(5, [(64, b"p" * 32)]).serialize())
+        torn = raw[:20] + bytes(len(raw) - 20)  # tail zeroed
+        assert LogRecord.deserialize(bytes(torn)) is None
+
+
+class TestRegionLayout:
+    def test_offsets_are_disjoint_and_ordered(self):
+        layout = RegionLayout(wal_size=4096, db_size=8192)
+        assert layout.lock_offset < layout.header_offset < layout.wal_offset
+        assert layout.wal_offset + layout.wal_size == layout.db_offset
+        assert layout.region_size == layout.db_offset + 8192
+
+    def test_wal_position_wraps(self):
+        layout = RegionLayout(wal_size=1024, db_size=0x1000)
+        assert layout.wal_position(0) == layout.wal_offset
+        assert layout.wal_position(1024) == layout.wal_offset
+        assert layout.wal_position(1030) == layout.wal_offset + 6
+
+    def test_db_position_bounds(self):
+        layout = RegionLayout(wal_size=1024, db_size=100)
+        with pytest.raises(ValueError):
+            layout.db_position(100)
+        assert layout.db_position(99) == layout.db_offset + 99
+
+    def test_contiguous_room(self):
+        layout = RegionLayout(wal_size=1000, db_size=0)
+        assert layout.contiguous_room(0) == 1000
+        assert layout.contiguous_room(900) == 100
+        assert layout.contiguous_room(2900) == 100
+
+
+class TestScan:
+    def _wal_with(self, records, wal_size=4096):
+        area = bytearray(wal_size)
+        cursor = 0
+        for record in records:
+            raw = record.serialize()
+            area[cursor : cursor + len(raw)] = raw
+            cursor += len(raw)
+        return bytes(area), cursor
+
+    def test_scan_yields_all_records(self):
+        records = [LogRecord.make(i, [(i * 10, bytes([i]) * 8)]) for i in range(5)]
+        raw, end = self._wal_with(records)
+        found = list(scan_records(raw, 0, end, 4096))
+        assert [record.lsn for _, record in found] == [0, 1, 2, 3, 4]
+
+    def test_scan_respects_start(self):
+        records = [LogRecord.make(i, [(0, b"12345678")]) for i in range(3)]
+        raw, end = self._wal_with(records)
+        size = records[0].serialized_size
+        found = list(scan_records(raw, size, end, 4096))
+        assert [record.lsn for _, record in found] == [1, 2]
+
+    def test_scan_stops_at_torn_space(self):
+        records = [LogRecord.make(i, [(0, b"abcdefgh")]) for i in range(3)]
+        raw, end = self._wal_with(records)
+        corrupted = bytearray(raw)
+        corrupted[records[0].serialized_size] ^= 0xFF  # wreck record 1
+        found = list(scan_records(bytes(corrupted), 0, end, 4096))
+        assert [record.lsn for _, record in found] == [0]
+
+    def test_scan_follows_wrap_marker(self):
+        wal_size = 256
+        area = bytearray(wal_size)
+        first = LogRecord.make(0, [(0, b"x" * 100)])
+        raw0 = first.serialize()
+        area[: len(raw0)] = raw0
+        # Next record would not fit; writer stamps WRAP at the tail
+        # position and continues at the ring start (a new lap).
+        struct.pack_into("<I", area, len(raw0), WRAP_MAGIC)
+        second = LogRecord.make(1, [(0, b"y" * 50)])
+        logical_second = wal_size  # start of the next lap
+        raw1 = second.serialize()
+        area[:0] = b""  # no-op; write at position 0 of the ring
+        area[0 : len(raw1)] = raw1
+        end = logical_second + len(raw1)
+        found = list(scan_records(bytes(area), len(raw0), end, wal_size))
+        assert [record.lsn for _, record in found] == [1]

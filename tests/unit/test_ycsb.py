@@ -1,0 +1,134 @@
+"""Unit tests for the YCSB generator (repro.workloads.ycsb)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    WORKLOADS,
+    WorkloadMix,
+    YcsbWorkload,
+    ZipfianGenerator,
+)
+
+
+class TestGenerators:
+    def test_uniform_in_range_and_roughly_flat(self):
+        gen = UniformGenerator(100, random.Random(1))
+        counts = Counter(gen.next() for _ in range(20_000))
+        assert all(0 <= key < 100 for key in counts)
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_zipfian_favors_low_items(self):
+        gen = ZipfianGenerator(1000, random.Random(2))
+        counts = Counter(gen.next() for _ in range(50_000))
+        assert counts[0] > counts.get(500, 0) * 5
+        top10 = sum(counts.get(i, 0) for i in range(10))
+        assert top10 / 50_000 > 0.25  # strong skew
+
+    def test_zipfian_stays_in_range(self):
+        gen = ZipfianGenerator(50, random.Random(3))
+        assert all(0 <= gen.next() < 50 for _ in range(10_000))
+
+    def test_scrambled_zipfian_spreads_hot_keys(self):
+        gen = ScrambledZipfianGenerator(1000, random.Random(4))
+        counts = Counter(gen.next() for _ in range(50_000))
+        hot = [key for key, _ in counts.most_common(10)]
+        # Hot keys should not all cluster at the low end.
+        assert max(hot) > 100
+
+    def test_latest_favors_newest(self):
+        gen = LatestGenerator(1000, random.Random(5))
+        counts = Counter(gen.next() for _ in range(50_000))
+        assert counts[999] > counts.get(0, 0)
+        newest100 = sum(counts.get(i, 0) for i in range(900, 1000))
+        assert newest100 / 50_000 > 0.5
+
+    def test_latest_grow_shifts_hotspot(self):
+        gen = LatestGenerator(100, random.Random(6))
+        gen.grow()
+        counts = Counter(gen.next() for _ in range(20_000))
+        assert counts[100] == max(counts.values())
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, random.Random(0))
+
+
+class TestWorkloadMixes:
+    def test_table3_proportions(self):
+        """The exact operation mixes of Table 3."""
+        assert WORKLOADS["A"].read == 0.50 and WORKLOADS["A"].update == 0.50
+        assert WORKLOADS["B"].read == 0.95 and WORKLOADS["B"].update == 0.05
+        assert WORKLOADS["D"].read == 0.95 and WORKLOADS["D"].insert == 0.05
+        assert WORKLOADS["E"].insert == 0.05 and WORKLOADS["E"].scan == 0.95
+        assert WORKLOADS["F"].read == 0.50 and WORKLOADS["F"].modify == 0.50
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", read=0.5, update=0.4)
+
+    def test_workload_d_uses_latest(self):
+        assert WORKLOADS["D"].distribution == "latest"
+
+    @pytest.mark.parametrize("name", ["A", "B", "D", "E", "F"])
+    def test_generated_mix_matches_table(self, name):
+        workload = YcsbWorkload(WORKLOADS[name], record_count=1000, seed=8)
+        counts = Counter(op.kind for op in workload.operations(20_000))
+        mix = WORKLOADS[name]
+        for kind, expected in [
+            ("read", mix.read),
+            ("update", mix.update),
+            ("insert", mix.insert),
+            ("modify", mix.modify),
+            ("scan", mix.scan),
+        ]:
+            observed = counts.get(kind, 0) / 20_000
+            assert abs(observed - expected) < 0.02, (name, kind, observed)
+
+
+class TestWorkloadStream:
+    def test_deterministic_given_seed(self):
+        a = [op for op in YcsbWorkload(WORKLOADS["A"], 100, seed=1).operations(100)]
+        b = [op for op in YcsbWorkload(WORKLOADS["A"], 100, seed=1).operations(100)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [op.key for op in YcsbWorkload(WORKLOADS["A"], 100, seed=1).operations(100)]
+        b = [op.key for op in YcsbWorkload(WORKLOADS["A"], 100, seed=2).operations(100)]
+        assert a != b
+
+    def test_inserts_extend_keyspace(self):
+        workload = YcsbWorkload(WORKLOADS["D"], record_count=100, seed=3)
+        inserted_keys = [
+            op.key for op in workload.operations(2000) if op.kind == "insert"
+        ]
+        assert inserted_keys == sorted(inserted_keys)
+        assert inserted_keys[0] == 100
+        assert workload.inserted == 100 + len(inserted_keys)
+
+    def test_keys_always_live(self):
+        workload = YcsbWorkload(WORKLOADS["D"], record_count=50, seed=4)
+        for op in workload.operations(5000):
+            if op.kind != "insert":
+                assert 0 <= op.key < workload.inserted
+
+    def test_scan_lengths_bounded(self):
+        workload = YcsbWorkload(WORKLOADS["E"], record_count=100, seed=5)
+        lengths = [op.scan_length for op in workload.operations(2000) if op.kind == "scan"]
+        assert lengths and all(1 <= l <= 100 for l in lengths)
+
+    def test_value_sizes_propagate(self):
+        workload = YcsbWorkload(WORKLOADS["A"], 100, value_size=1024, seed=6)
+        updates = [op for op in workload.operations(200) if op.kind == "update"]
+        assert all(op.value_size == 1024 for op in updates)
+
+    def test_load_keys(self):
+        workload = YcsbWorkload(WORKLOADS["A"], record_count=10, seed=0)
+        assert list(workload.load_keys()) == list(range(10))
