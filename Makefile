@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-unit bench bench-quick perf-smoke
+
+test:            ## tier-1 suite (unit + integration + benchmarks)
+	$(PYTHON) -m pytest -x -q
+
+test-unit:       ## fast unit tests only
+	$(PYTHON) -m pytest -x -q tests/unit
+
+bench:           ## full perf suite; appends an entry to BENCH_kernel.json
+	$(PYTHON) -m repro.bench.perfsuite --label "$(or $(LABEL),local)"
+
+bench-quick:     ## CI-sized perf suite; prints the entry, writes nothing
+	$(PYTHON) -m repro.bench.perfsuite --quick --output -
+
+perf-smoke:      ## perf benchmarks as tests (fails on errors, not timing)
+	$(PYTHON) -m pytest -x -q benchmarks/test_perf_kernel.py

@@ -1,6 +1,22 @@
 """Benchmark harness utilities."""
 
-from .harness import CpuMeter, LatencyRecorder, LatencyStats, format_table, run_until
+from .harness import (
+    CpuMeter,
+    LatencyRecorder,
+    LatencyStats,
+    format_table,
+    merge_stats,
+    run_until,
+)
+from .parallel import (
+    RunResult,
+    RunSpec,
+    derive_seed,
+    make_specs,
+    merge_run_stats,
+    run_parallel,
+    run_serial,
+)
 
 __all__ = [
     "LatencyRecorder",
@@ -8,4 +24,12 @@ __all__ = [
     "CpuMeter",
     "run_until",
     "format_table",
+    "merge_stats",
+    "RunSpec",
+    "RunResult",
+    "derive_seed",
+    "make_specs",
+    "run_serial",
+    "run_parallel",
+    "merge_run_stats",
 ]

@@ -33,6 +33,8 @@ __all__ = [
     "fig12_mongodb",
     "MESSAGE_SIZES_FIG8",
     "MESSAGE_SIZES_FIG9",
+    "EXPERIMENTS",
+    "run_experiment",
 ]
 
 MESSAGE_SIZES_FIG8 = [128, 256, 512, 1024, 2048, 4096, 8192]
@@ -513,3 +515,32 @@ def fig12_mongodb(
     cluster[0].os.spawn(body, "ycsb", pinned_core=1)
     run_until(sim, lambda: "y" in done, deadline_ms=deadline_ms)
     return recorder.stats()
+
+
+# ---------------------------------------------------------------------------
+# Registry — names the parallel runner and the CLI can address.
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS = {
+    "latency": microbench_latency,
+    "throughput": microbench_throughput,
+    "fig2": fig2_mongodb_motivation,
+    "fig11": fig11_rocksdb,
+    "fig12": fig12_mongodb,
+}
+"""Every experiment addressable by name.
+
+The :mod:`repro.bench.parallel` runner ships ``(name, params, seed)``
+triples to worker processes, so entries must be importable module-level
+callables whose parameters and return values pickle cleanly.
+"""
+
+
+def run_experiment(name: str, **kwargs):
+    """Run a registered experiment by name."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ValueError(f"unknown experiment {name!r} (known: {known})") from None
+    return fn(**kwargs)

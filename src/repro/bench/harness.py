@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..sim import MS, Simulator
 
 __all__ = [
     "LatencyRecorder",
     "LatencyStats",
+    "merge_stats",
     "run_until",
     "format_table",
     "CpuMeter",
@@ -47,14 +48,34 @@ class LatencyStats:
 
 
 class LatencyRecorder:
-    """Collects per-operation latencies (nanoseconds in, µs out)."""
+    """Collects per-operation latencies (nanoseconds in, µs out).
+
+    ``stats()`` sorts at most once per batch of new samples: the sorted
+    µs array is cached and reused across calls (and across the five
+    percentile extractions within one call), and the running integer
+    sum keeps ``mean`` O(1) and exact regardless of recording order.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
         self.samples_ns: List[int] = []
+        self._sum_ns = 0
+        self._sorted_us: Optional[List[float]] = None
 
     def record(self, latency_ns: int) -> None:
         self.samples_ns.append(latency_ns)
+        self._sum_ns += latency_ns
+        self._sorted_us = None
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one.
+
+        Sample-exact: stats of the merged recorder equal stats of one
+        recorder fed every sample, in any merge order.
+        """
+        self.samples_ns.extend(other.samples_ns)
+        self._sum_ns += other._sum_ns
+        self._sorted_us = None
 
     def __len__(self) -> int:
         return len(self.samples_ns)
@@ -78,16 +99,55 @@ class LatencyRecorder:
         """Summarize (µs). Raises if nothing was recorded."""
         if not self.samples_ns:
             raise ValueError(f"recorder {self.name!r} has no samples")
-        values = sorted(sample / 1000.0 for sample in self.samples_ns)
+        values = self._sorted_us
+        if values is None or len(values) != len(self.samples_ns):
+            values = self._sorted_us = sorted(
+                sample / 1000.0 for sample in self.samples_ns
+            )
+        # Integer ns sum (exact in any order), one float division.
         return LatencyStats(
             count=len(values),
-            mean=sum(values) / len(values),
+            mean=self._sum_ns / 1000.0 / len(values),
             p50=self._percentile(values, 0.50),
             p95=self._percentile(values, 0.95),
             p99=self._percentile(values, 0.99),
             minimum=values[0],
             maximum=values[-1],
         )
+
+
+def merge_stats(parts: Iterable[LatencyStats]) -> LatencyStats:
+    """Combine per-run :class:`LatencyStats` into one summary.
+
+    ``count``, ``mean``, ``minimum`` and ``maximum`` are exact.
+    Percentiles cannot be recovered exactly from summaries, so they are
+    count-weighted means of the per-run percentiles — exact when the
+    runs are homogeneous, an approximation otherwise (merge at the
+    :class:`LatencyRecorder` level when samples are available).
+
+    Order-independent by construction: every reduction is either
+    ``min``/``max`` or an exactly-rounded :func:`math.fsum` over inputs
+    sorted before summing.
+    """
+    stats = sorted(parts, key=lambda s: (s.count, s.mean, s.p50, s.p95, s.p99))
+    if not stats:
+        raise ValueError("merge_stats() needs at least one LatencyStats")
+    total = sum(s.count for s in stats)
+    if total <= 0:
+        raise ValueError("merge_stats() needs at least one sample")
+
+    def weighted(extract: Callable[[LatencyStats], float]) -> float:
+        return math.fsum(s.count * extract(s) for s in stats) / total
+
+    return LatencyStats(
+        count=total,
+        mean=weighted(lambda s: s.mean),
+        p50=weighted(lambda s: s.p50),
+        p95=weighted(lambda s: s.p95),
+        p99=weighted(lambda s: s.p99),
+        minimum=min(s.minimum for s in stats),
+        maximum=max(s.maximum for s in stats),
+    )
 
 
 class CpuMeter:

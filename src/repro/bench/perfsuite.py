@@ -1,0 +1,267 @@
+"""Performance regression suite: kernel, gWRITE, Fig-8, parallel scaling.
+
+Measures the numbers that bound every experiment in this repo and
+appends them to ``BENCH_kernel.json`` at the repo root, so each PR
+leaves a perf trajectory the next one can be compared against::
+
+    python -m repro.bench.perfsuite --label "PR 1"     # full suite
+    python -m repro.bench.perfsuite --quick            # smoke (CI)
+    repro-perf --label nightly                         # console script
+
+Timing discipline: every benchmark runs ``repeats`` times and reports
+the **best** run — the one least polluted by scheduler noise — which is
+the stable statistic on shared machines. The JSON entry also records
+``cpu_count`` and the Python version, because a trajectory is only
+comparable on comparable hardware. CI runs this suite in smoke mode and
+fails only on errors, never on timing (timing on shared runners is
+noise).
+
+The simulated *results* (Fig-8 p50, merged stats) are recorded
+alongside wall times: a perf PR that changes them has broken
+determinism, and the suite makes that visible immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..sim import Simulator
+
+__all__ = [
+    "bench_kernel_events",
+    "bench_gwrite",
+    "bench_fig8",
+    "bench_parallel_scaling",
+    "run_suite",
+    "write_history",
+    "main",
+]
+
+BENCH_FILE = "BENCH_kernel.json"
+
+
+def _best(fn, repeats: int) -> Dict[str, Any]:
+    """Run ``fn`` ``repeats`` times, keep the fastest run's payload."""
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, repeats)):
+        result = fn()
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    assert best is not None
+    return best
+
+
+def bench_kernel_events(
+    n_procs: int = 200,
+    events_per_proc: int = 2000,
+    seed: int = 7,
+    fast_dispatch: bool = True,
+) -> Dict[str, Any]:
+    """Pure event-loop throughput: timeout-yielding processes.
+
+    The workload is all kernel — no NIC, no memory model — so the
+    events/sec figure isolates dispatch, scheduling and timeout
+    pooling. ``fast_dispatch=False`` measures the generic trigger path
+    for comparison.
+    """
+    sim = Simulator(seed=seed, fast_dispatch=fast_dispatch)
+
+    def ticker(index: int):
+        delay = 1 + (index % 13)
+        for _ in range(events_per_proc):
+            yield sim.timeout(delay)
+
+    for index in range(n_procs):
+        sim.spawn(ticker(index))
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    events = n_procs * events_per_proc
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall,
+        "final_now": sim.now,
+    }
+
+
+def bench_gwrite(
+    total_bytes: int = 4 << 20, message_size: int = 4096
+) -> Dict[str, Any]:
+    """End-to-end gWRITE throughput (the Fig-9 path, shortened)."""
+    from .experiments import microbench_throughput
+
+    started = time.perf_counter()
+    result = microbench_throughput(
+        "hyperloop", message_size=message_size, total_bytes=total_bytes
+    )
+    wall = time.perf_counter() - started
+    n_ops = total_bytes // message_size
+    return {
+        "ops": n_ops,
+        "wall_s": wall,
+        "ops_per_sec": n_ops / wall,
+        "sim_kops": result.throughput_kops,
+    }
+
+
+def bench_fig8(n_ops: int = 500) -> Dict[str, Any]:
+    """Wall-time of the Fig-8 latency microbenchmark (1 KB gWRITE)."""
+    from .experiments import microbench_latency
+
+    started = time.perf_counter()
+    result = microbench_latency("hyperloop", message_size=1024, n_ops=n_ops)
+    wall = time.perf_counter() - started
+    return {
+        "ops": n_ops,
+        "wall_s": wall,
+        "p50_us": result.stats.p50,
+        "p99_us": result.stats.p99,
+    }
+
+
+def bench_parallel_scaling(
+    workers: int = 4, n_runs: int = 4, n_ops: int = 120
+) -> Dict[str, Any]:
+    """Serial vs pooled wall time over an independent-seed sweep.
+
+    On a multi-core machine the speedup approaches ``min(workers,
+    n_runs)``; the entry records ``cpu_count`` so a flat result on a
+    single-core container reads as what it is, not a regression.
+    """
+    from .parallel import make_specs, run_parallel, run_serial
+
+    specs = make_specs(
+        "latency",
+        base_seed=11,
+        n_seeds=n_runs,
+        system="hyperloop",
+        message_size=1024,
+        n_ops=n_ops,
+        stress_per_core=1,
+        pipeline_depth=4,
+        n_cores=4,
+        rounds=512,
+    )
+    started = time.perf_counter()
+    serial = run_serial(specs)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_parallel(specs, workers=workers)
+    parallel_s = time.perf_counter() - started
+    return {
+        "runs": n_runs,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "identical": serial == parallel,
+        "wall_s": serial_s + parallel_s,
+    }
+
+
+def run_suite(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
+    """Run every benchmark; returns one history entry (no I/O)."""
+    if quick:
+        repeats = 1
+    entry: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+    kernel = _best(
+        lambda: bench_kernel_events(
+            n_procs=50 if quick else 200,
+            events_per_proc=400 if quick else 2000,
+        ),
+        repeats,
+    )
+    entry["kernel_events_per_sec"] = round(kernel["events_per_sec"])
+    entry["kernel_events"] = kernel["events"]
+
+    gwrite = _best(
+        lambda: bench_gwrite(total_bytes=(1 << 20) if quick else (4 << 20)),
+        repeats,
+    )
+    entry["gwrite_ops_per_sec"] = round(gwrite["ops_per_sec"], 1)
+    entry["gwrite_sim_kops"] = round(gwrite["sim_kops"], 1)
+
+    fig8 = _best(lambda: bench_fig8(n_ops=100 if quick else 500), repeats)
+    entry["fig8_wall_s"] = round(fig8["wall_s"], 3)
+    entry["fig8_p50_us"] = round(fig8["p50_us"], 3)
+    entry["fig8_p99_us"] = round(fig8["p99_us"], 3)
+
+    if not quick:
+        scaling = bench_parallel_scaling()
+        if not scaling["identical"]:
+            raise AssertionError(
+                "parallel runner diverged from serial reference"
+            )
+        entry["parallel"] = {
+            "runs": scaling["runs"],
+            "workers": scaling["workers"],
+            "serial_s": round(scaling["serial_s"], 2),
+            "parallel_s": round(scaling["parallel_s"], 2),
+            "speedup": round(scaling["speedup"], 2),
+        }
+    return entry
+
+
+def write_history(entry: Dict[str, Any], path: Path) -> Dict[str, Any]:
+    """Append ``entry`` to the JSON history at ``path`` (kept sorted by
+    insertion: oldest first). Returns the full document."""
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {"benchmark": "repro kernel perf suite", "history": []}
+    document["history"].append(entry)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return document
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf", description="kernel/experiment perf suite"
+    )
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--label", default="", help="history entry label")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        default=BENCH_FILE,
+        help=f"history file (default ./{BENCH_FILE}); '-' prints only",
+    )
+    args = parser.parse_args(argv)
+
+    entry: Dict[str, Any] = {}
+    if args.label:
+        entry["label"] = args.label
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    entry.update(run_suite(quick=args.quick, repeats=args.repeats))
+
+    print(json.dumps(entry, indent=2))
+    if args.output != "-":
+        path = Path(args.output)
+        write_history(entry, path)
+        history = json.loads(path.read_text())["history"]
+        if len(history) >= 2:
+            base, last = history[0], history[-1]
+            ratio = last["kernel_events_per_sec"] / base["kernel_events_per_sec"]
+            print(
+                f"kernel events/s: {base['kernel_events_per_sec']:,} -> "
+                f"{last['kernel_events_per_sec']:,} ({ratio:.2f}x vs "
+                f"{base.get('label', 'first entry')!r})",
+                file=sys.stderr,
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--ops", type=int, default=1500)
     sweep.add_argument("--levels", type=int, nargs="+", default=[0, 2, 6, 10])
 
+    bench = sub.add_parser(
+        "bench",
+        help="parallel seed/config sweep with merged stats",
+        description=(
+            "Fan independent simulations (seeds x systems x sizes) across "
+            "worker processes; per-run seeds derive deterministically from "
+            "--seed, and results are identical to a serial run."
+        ),
+    )
+    bench.add_argument("--experiment", choices=["latency", "throughput"], default="latency")
+    bench.add_argument("--systems", choices=SYSTEMS, nargs="+", default=["hyperloop"])
+    bench.add_argument("--sizes", type=int, nargs="+", default=[1024])
+    bench.add_argument("--seeds", type=int, default=4, help="independent seeds per config")
+    bench.add_argument("--seed", type=int, default=42, help="base seed for derivation")
+    bench.add_argument("--ops", type=int, default=500)
+    bench.add_argument("--stress", type=int, default=3, help="tenants per replica core")
+    bench.add_argument("--workers", type=int, default=None, help="processes (default: all cores)")
+    bench.add_argument("--serial", action="store_true", help="run in-process (reference path)")
+
     return parser
 
 
@@ -83,6 +102,7 @@ def _cmd_list() -> int:
         ("fig11", "replicated RocksDB, three data paths (Fig 11)"),
         ("fig12", "split MongoDB on YCSB, native vs HyperLoop (Fig 12)"),
         ("sweep", "the headline tenancy sweep"),
+        ("bench", "parallel seed/config sweep with merged stats"),
     ]
     print(format_table("Experiments", ["command", "what it reproduces"], rows))
     return 0
@@ -227,6 +247,74 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import time
+
+    from .bench.parallel import (
+        make_specs,
+        merge_run_stats,
+        run_parallel,
+        run_serial,
+    )
+
+    grid = [
+        {"system": system, "message_size": size}
+        for system in args.systems
+        for size in args.sizes
+    ]
+    common = dict(stress_per_core=args.stress)
+    if args.experiment == "latency":
+        common["n_ops"] = args.ops
+    specs = make_specs(args.experiment, args.seed, args.seeds, grid=grid, **common)
+    started = time.perf_counter()
+    if args.serial:
+        results = run_serial(specs)
+        mode = "serial"
+    else:
+        results = run_parallel(specs, workers=args.workers)
+        mode = f"parallel x{args.workers or 'auto'}"
+    elapsed = time.perf_counter() - started
+
+    rows = []
+    for result in results:
+        spec = result.spec
+        params = spec.kwargs
+        stats = result.stats_dict()
+        if args.experiment == "throughput":
+            rows.append(
+                (
+                    params["system"],
+                    params["message_size"],
+                    spec.seed,
+                    round(result.output["throughput_kops"], 1),
+                )
+            )
+        else:
+            rows.append(
+                (
+                    params["system"],
+                    params["message_size"],
+                    spec.seed,
+                    round(stats["mean"], 1),
+                    round(stats["p99"], 1),
+                )
+            )
+    columns = (
+        ["system", "size_B", "seed", "Kops/s"]
+        if args.experiment == "throughput"
+        else ["system", "size_B", "seed", "avg_us", "p99_us"]
+    )
+    print(format_table(f"Sweep ({mode}, {elapsed:.1f}s wall)", columns, rows))
+    if args.experiment == "latency":
+        merged = merge_run_stats(results)
+        print(
+            f"merged over {len(results)} runs: n={merged.count} "
+            f"avg={merged.mean:.1f}us p50={merged.p50:.1f}us "
+            f"p95={merged.p95:.1f}us p99={merged.p99:.1f}us"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -237,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig11": lambda: _cmd_fig11(args),
         "fig12": lambda: _cmd_fig12(args),
         "sweep": lambda: _cmd_sweep(args),
+        "bench": lambda: _cmd_bench(args),
     }
     return handlers[args.command]()
 

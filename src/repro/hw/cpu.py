@@ -158,6 +158,11 @@ class Task:
         self.slice_left = 0  # remaining quantum for this dispatch
         self._dispatch_event: Optional[Event] = None
         self._preempt_event: Optional[Event] = None
+        # Built once: compute()/poll_wait() allocate one preempt event
+        # per grant and dispatch events per block, so per-call name
+        # formatting is measurable on scheduler-heavy runs.
+        self._preempt_name = name + ".preempt"
+        self._dispatch_name = name + ".dispatch"
         self.process = None  # set by OperatingSystem.spawn
 
     # -- public generator API (use with ``yield from``) ---------------------
@@ -171,7 +176,7 @@ class Task:
             if self.state != RUNNING:
                 yield from self._await_dispatch()
             grant = self.os._grant(self, remaining)
-            self._preempt_event = self.sim.event(name=f"{self.name}.preempt")
+            self._preempt_event = Event(self.sim, self._preempt_name)
             started = self.sim.now
             if self.core is not None:
                 self.core._grant_started = started
@@ -232,7 +237,7 @@ class Task:
             if event.triggered:
                 break
             grant = self.os._grant(self, 1 << 62)
-            self._preempt_event = self.sim.event(name=f"{self.name}.preempt")
+            self._preempt_event = Event(self.sim, self._preempt_name)
             started = self.sim.now
             if self.core is not None:
                 self.core._grant_started = started
@@ -424,7 +429,7 @@ class OperatingSystem:
             task.state = READY
             task.core = None
             task.last_core = core
-            task._dispatch_event = self.sim.event(name=f"{task.name}.dispatch")
+            task._dispatch_event = Event(task.sim, task._dispatch_name)
             queue = core.interactive_queue if task.interactive else core.batch_queue
             queue.append(task)
             core.current = None
@@ -450,7 +455,7 @@ class OperatingSystem:
         """Task's event fired: find it a core or queue it."""
         task.state = READY
         if task._dispatch_event is None:
-            task._dispatch_event = self.sim.event(name=f"{task.name}.dispatch")
+            task._dispatch_event = Event(task.sim, task._dispatch_name)
         core = self._pick_core(task)
         if core.idle:
             self._dispatch(core, task, switch=core.last_task is not task)

@@ -119,6 +119,13 @@ class MemorySystem:
         self.dram_size = dram_size
         self.nvm_size = nvm_size
         self._bytes = bytearray(dram_size + nvm_size)
+        # All reads go through one long-lived memoryview: a slice of a
+        # memoryview costs a single copy (``tobytes``) where slicing
+        # the bytearray then wrapping in ``bytes`` costs two. Same-size
+        # slice assignment never resizes the bytearray, so the view
+        # stays valid for the lifetime of the system.
+        self._view = memoryview(self._bytes)
+        self._size = dram_size + nvm_size
         self._dram = _Space(0, dram_size)
         self._nvm = _Space(dram_size, dram_size + nvm_size)
         self.power_failures = 0
@@ -137,13 +144,28 @@ class MemorySystem:
 
     def read(self, addr: int, length: int) -> bytes:
         """Bounds-checked read of ``length`` bytes at ``addr``."""
-        self._check(addr, length)
-        return bytes(self._bytes[addr : addr + length])
+        if addr < 0 or length < 0 or addr + length > self._size:
+            self._check(addr, length)
+        return self._view[addr : addr + length].tobytes()
+
+    def read_view(self, addr: int, length: int) -> memoryview:
+        """Bounds-checked zero-copy view of ``length`` bytes at ``addr``.
+
+        The view aliases live memory: it reflects later writes and must
+        not be held across a :meth:`power_failure`. Use for transient
+        parsing (e.g. WQE decode) where the copy in :meth:`read` would
+        be pure overhead.
+        """
+        if addr < 0 or length < 0 or addr + length > self._size:
+            self._check(addr, length)
+        return self._view[addr : addr + length]
 
     def write(self, addr: int, data: bytes) -> None:
         """Bounds-checked write of ``data`` at ``addr``."""
-        self._check(addr, len(data))
-        self._bytes[addr : addr + len(data)] = data
+        length = len(data)
+        if addr < 0 or addr + length > self._size:
+            self._check(addr, length)
+        self._bytes[addr : addr + length] = data
 
     def is_nvm(self, addr: int, length: int = 1) -> bool:
         """Whether ``[addr, addr+length)`` lies fully inside NVM."""
@@ -263,6 +285,10 @@ class WriteCache:
     def read(self, addr: int, length: int) -> bytes:
         """Coherent read (CPU and NIC see the same bytes)."""
         return self.memory.read(addr, length)
+
+    def read_view(self, addr: int, length: int) -> memoryview:
+        """Coherent zero-copy read; see :meth:`MemorySystem.read_view`."""
+        return self.memory.read_view(addr, length)
 
     def flush_range(self, addr: int, length: int) -> int:
         """Mark every write overlapping ``[addr, addr+length)`` durable.

@@ -43,6 +43,7 @@ from .wqe import (
     WC_SUCCESS,
     Wqe,
     WQE_SIZE,
+    decode_cached,
 )
 from ..sim import Event, Simulator, Store
 from .memory import MemoryRegion, MemorySystem, WriteCache
@@ -154,6 +155,7 @@ class HwCq:
         self.wait_consumed = 0  # completions consumed by hardware WAITs
         self._threshold_waiters: List[Tuple[int, Event]] = []
         self._channel: Optional[Event] = None
+        self._channel_name = self.name + ".channel"
 
     def push(self, cqe: Cqe) -> None:
         """Deliver a completion; wakes threshold waiters and channel."""
@@ -182,7 +184,7 @@ class HwCq:
         If entries are already pending, fires immediately — software
         should still :meth:`poll` to drain them.
         """
-        event = self.sim.event(name=f"{self.name}.channel")
+        event = Event(self.sim, self._channel_name)
         if self.entries:
             event.succeed(self.entries[0])
             return event
@@ -251,6 +253,10 @@ class NicQp:
         self.ingress: Store = Store(nic.sim, name=f"qp{qpn}.ingress")
         self._kick_event: Optional[Event] = None
         self._recv_kick_event: Optional[Event] = None
+        # Kick events are re-created every engine lap; formatting their
+        # names per lap shows up in profiles, so build them once.
+        self._kick_name = f"qp{qpn}.kick"
+        self._rkick_name = f"qp{qpn}.rkick"
         self._next_seq = 0
         self._pending: List[_PendingSend] = []
         self._engine_started = False
@@ -293,23 +299,27 @@ class NicQp:
 
     def _await_kick(self) -> Event:
         if self._kick_event is None or self._kick_event.triggered:
-            self._kick_event = self.nic.sim.event(name=f"qp{self.qpn}.kick")
+            self._kick_event = Event(self.nic.sim, self._kick_name)
         return self._kick_event
 
     def _await_recv_kick(self) -> Event:
         if self._recv_kick_event is None or self._recv_kick_event.triggered:
-            self._recv_kick_event = self.nic.sim.event(name=f"qp{self.qpn}.rkick")
+            self._recv_kick_event = Event(self.nic.sim, self._rkick_name)
         return self._recv_kick_event
 
     def _read_send_wqe(self, index: int) -> Wqe:
+        # Hot path: the send engine re-reads the slot every lap while
+        # polling for VALID, and chained groups re-execute unchanged
+        # descriptors constantly. ``decode_cached`` turns repeat bytes
+        # into a dict hit; the returned Wqe is shared and read-only.
         offset = (index % self.send_slots) * WQE_SIZE
-        raw = self.nic.cache.read(self.send_ring.addr + offset, WQE_SIZE)
-        return Wqe.unpack(raw)
+        raw = self.nic.cache.read_view(self.send_ring.addr + offset, WQE_SIZE)
+        return decode_cached(raw)
 
     def _read_recv_wqe(self, index: int) -> Wqe:
         offset = (index % self.recv_slots) * WQE_SIZE
-        raw = self.nic.cache.read(self.recv_ring.addr + offset, WQE_SIZE)
-        return Wqe.unpack(raw)
+        raw = self.nic.cache.read_view(self.recv_ring.addr + offset, WQE_SIZE)
+        return decode_cached(raw)
 
     def _gather(self, wqe: Wqe) -> bytes:
         """Collect a send/write payload, honouring SGL mode."""

@@ -42,6 +42,7 @@ __all__ = [
     "WC_SUCCESS",
     "WC_REMOTE_ACCESS_ERROR",
     "WC_REMOTE_OP_ERROR",
+    "decode_cached",
 ]
 
 WQE_SIZE = 64
@@ -87,7 +88,7 @@ _STRUCT = struct.Struct("<BBHIQQIIQQQQ")
 assert _STRUCT.size == WQE_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class Wqe:
     """A decoded work-queue element.
 
@@ -181,16 +182,16 @@ class Wqe:
             _res1,
         ) = _STRUCT.unpack(data)
         return cls(
-            opcode=opcode,
-            flags=flags,
-            length=length,
-            local_addr=local_addr,
-            remote_addr=remote_addr,
-            rkey=rkey,
-            lkey=lkey,
-            compare=compare,
-            swap=swap,
-            wr_id=wr_id,
+            opcode,
+            flags,
+            length,
+            local_addr,
+            remote_addr,
+            rkey,
+            lkey,
+            compare,
+            swap,
+            wr_id,
         )
 
     def __repr__(self) -> str:
@@ -201,6 +202,38 @@ class Wqe:
             f"<Wqe {name} [{bits}] len={self.length} "
             f"la={self.local_addr:#x} ra={self.remote_addr:#x} wr_id={self.wr_id}>"
         )
+
+
+# Decode cache, keyed on the raw 64-byte slot contents. The NIC send
+# engine re-reads ring slots at execution time (that is the property
+# HyperLoop exploits), but between remote patches the bytes are
+# unchanged lap after lap — chained groups re-execute the same
+# pre-posted descriptors thousands of times. Caching the decode turns
+# those laps into one dict hit. Entries are shared: callers must treat
+# a cached ``Wqe`` as immutable (the NIC execute path only reads).
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_MAX = 4096
+
+
+def decode_cached(data) -> Wqe:
+    """Decode a 64-byte WQE, reusing a shared instance for repeated bytes.
+
+    ``data`` may be ``bytes`` or a ``memoryview``. The returned object
+    is cached and shared across calls with identical contents —
+    **read-only** by contract. Driver-side code that constructs and
+    mutates WQEs before posting must keep using :meth:`Wqe.unpack`.
+    """
+    key = bytes(data)
+    wqe = _DECODE_CACHE.get(key)
+    if wqe is None:
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            # Rings hold a few hundred distinct descriptors per run;
+            # blowing past the cap means churn, so reset wholesale
+            # rather than track LRU order on the hot path.
+            _DECODE_CACHE.clear()
+        wqe = Wqe.unpack(key)
+        _DECODE_CACHE[key] = wqe
+    return wqe
 
 
 # Field byte offsets, used by HyperLoop's metadata construction to
@@ -214,7 +247,7 @@ OFF_COMPARE = 32
 OFF_SWAP = 40
 
 
-@dataclass
+@dataclass(slots=True)
 class Cqe:
     """A completion-queue entry."""
 

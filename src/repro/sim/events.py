@@ -9,10 +9,26 @@ with an exception), and then notifies every registered callback.
 Events deliberately mirror the small surface of SimPy that distributed
 systems simulations actually need: plain events, timeouts, process
 joins, and ``any``/``all`` composition.
+
+Hot path
+--------
+Timeouts are, by an enormous margin, the most common event in any run
+(every NIC engine step, every task sleep, every modelled delay is one),
+so :class:`Timeout` carries a dispatch fast path: when a process yields
+a fresh timeout that nothing else observes, the kernel skips the
+generic trigger machinery — no callback registration, no
+``_trigger`` walk — and the scheduled entry resumes the process
+directly. The fast path performs exactly the same number of heap
+operations in exactly the same order as the generic path, so event
+interleavings (and therefore experiment results) are bit-for-bit
+identical either way; ``Simulator(fast_dispatch=False)`` forces the
+generic path and the equivalence is asserted by
+``tests/unit/test_kernel_perf.py``.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 __all__ = [
@@ -126,16 +142,82 @@ class Timeout(Event):
 
     Created via :meth:`repro.sim.kernel.Simulator.timeout`; the kernel
     schedules the trigger at construction.
+
+    Instances handed out by ``Simulator.timeout`` are **kernel-owned
+    once yielded bare from a process**: after the process resumes, the
+    object may be recycled into the simulator's timeout pool and reused
+    for a later ``timeout()`` call. Yield-and-discard (the universal
+    pattern) is always safe; retaining a reference across the yield and
+    inspecting ``.value``/``.triggered`` on a *later* step is not.
+    Timeouts composed into :class:`AnyOf`/:class:`AllOf` — or observed
+    via :meth:`add_callback` — are never claimed or recycled.
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_proc", "_tvalue")
 
     def __init__(self, sim, delay: int, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout+{delay}")
+        # Event.__init__ inlined: timeouts are constructed millions of
+        # times per run and the extra frame (plus a formatted name
+        # nobody reads) measurably costs; __repr__ renders the delay.
+        self.sim = sim
+        self.name = ""
+        self._callbacks = []
+        self._ok = True
+        self._value = None
+        self._triggered = False
         self.delay = delay
-        sim._schedule_trigger(delay, self, value)
+        self._tvalue = value
+        self._proc = None
+        sim._sequence += 1
+        heappush(sim._queue, (sim.now + delay, sim._sequence, self._fire, ()))
+
+    def _fire(self) -> None:
+        """Scheduled trigger. If a process claimed this timeout (it
+        yielded it bare), resume the process directly; otherwise fall
+        back to the generic trigger machinery."""
+        proc = self._proc
+        value = self._tvalue
+        if proc is None:
+            self.succeed(value)
+            return
+        self._proc = None
+        if proc._waiting_on is not self:
+            # The claiming process was interrupted while waiting; the
+            # trigger still happens for any late observers.
+            self.succeed(value)
+            return
+        proc._waiting_on = None
+        self._triggered = True
+        self._value = value
+        callbacks = self._callbacks
+        sim = self.sim
+        sim._sequence += 1
+        # Resume via the queue (same timestamp, FIFO) exactly like the
+        # generic path; passing ``self`` lets the process recycle this
+        # timeout into the pool once the generator has been resumed.
+        if callbacks:
+            self._callbacks = None
+            heappush(
+                sim._queue, (sim.now, sim._sequence, proc._resume, (value, None))
+            )
+            # Observers registered after the claim (rare): notify them
+            # in registration order, after the process resume was
+            # enqueued — the same order the generic path produces.
+            for callback in callbacks:
+                callback(self)
+        else:
+            # Keep the (empty) callback list: the instance is headed
+            # for the pool and the rearm in Simulator.timeout reuses
+            # it, skipping a list allocation per simulated delay.
+            heappush(
+                sim._queue, (sim.now, sim._sequence, proc._resume, (value, self))
+            )
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._triggered else "pending"
+        return f"<Timeout +{self.delay} {state}>"
 
 
 class _Condition(Event):
@@ -156,7 +238,7 @@ class _Condition(Event):
 
     def _result(self) -> dict:
         return {
-            event: event.value for event in self.events if event.triggered
+            event: event._value for event in self.events if event._triggered
         }
 
     def _on_child(self, event: Event) -> None:
@@ -173,10 +255,10 @@ class AnyOf(_Condition):
     __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._triggered:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
         else:
             self.succeed(self._result())
 
@@ -191,10 +273,10 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._triggered:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
         self._pending -= 1
         if self._pending == 0:

@@ -7,6 +7,15 @@ virtual clock in **integer nanoseconds**. Behaviour is expressed as
 re-implemented here so the whole substrate is self-contained and every
 scheduling decision is inspectable.
 
+The kernel is the ceiling on every experiment's wall-clock time, so
+its inner loop is deliberately hand-optimized (see
+``docs/INTERNALS.md``, *Performance*): bare timeouts dispatch through
+a claimed fast path with zero callback machinery, timeout objects are
+pooled and recycled, and generator resumption happens without
+per-step closure allocation. ``Simulator(fast_dispatch=False)`` runs
+the generic path instead; both produce bit-for-bit identical event
+orderings (asserted by ``tests/unit/test_kernel_perf.py``).
+
 Example
 -------
 >>> from repro.sim import Simulator
@@ -26,11 +35,17 @@ from __future__ import annotations
 
 import heapq
 import random
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
 
 __all__ = ["Simulator", "Process", "SimulationError"]
+
+# Upper bound on pooled Timeout instances kept for reuse. Sized for
+# "every concurrently-blocked engine in a large cluster", far above
+# steady-state demand; beyond it, retired timeouts are simply dropped.
+_TIMEOUT_POOL_MAX = 512
 
 
 class SimulationError(RuntimeError):
@@ -61,7 +76,7 @@ class Process(Event):
     @property
     def alive(self) -> bool:
         """True until the generator has finished."""
-        return not self.triggered
+        return not self._triggered
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -70,29 +85,87 @@ class Process(Event):
         process was waiting on is abandoned (its trigger will find no
         waiter).
         """
-        if self.triggered:
+        if self._triggered:
             return
         self.sim._schedule_call(0, self._throw, Interrupt(cause), None)
 
     # -- kernel plumbing ---------------------------------------------------
 
-    def _resume(self, send_value: Any, _unused: Any) -> None:
-        self._step(lambda: self.generator.send(send_value))
+    def _resume(self, send_value: Any, recycle: Optional[Timeout]) -> None:
+        """Advance the generator with ``send_value``.
 
-    def _throw(self, exc: BaseException, _unused: Any) -> None:
-        if self.triggered:
-            return
-        self._waiting_on = None
-        self._step(lambda: self.generator.throw(exc))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
+        ``recycle`` is the claimed Timeout that produced this resume
+        (fast path), returned to the simulator's pool once the step has
+        run; the generic path passes ``None``.
+        """
+        sim = self.sim
         try:
-            target = advance()
+            target = self.generator.send(send_value)
         except StopIteration as stop:
+            if recycle is not None:
+                sim._recycle_timeout(recycle)
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate via event
+            if recycle is not None:
+                sim._recycle_timeout(recycle)
             self.fail(exc)
+            return
+        if recycle is not None:
+            pool = sim._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_MAX:
+                pool.append(recycle)
+        # _wait_on's claim check, inlined: this is the hottest branch
+        # in the whole simulator (every bare timeout yield lands here).
+        if (
+            target.__class__ is Timeout
+            and target._proc is None
+            and not target._triggered
+            and not target._callbacks
+            and sim._fast_dispatch
+        ):
+            target._proc = self
+            self._waiting_on = target
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException, _unused: Any) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate via event
+            self.fail(err)
+            return
+        self._wait_on(target)
+
+    # A failure delivered through the event queue takes the same path
+    # as an interrupt: throw into the generator, then wait on whatever
+    # it yields next.
+    _deferred_throw = _throw
+
+    def _wait_on(self, target: Any) -> None:
+        """Block this process on ``target``.
+
+        Fast path: a fresh, unobserved Timeout is *claimed* — its
+        scheduled entry will resume this process directly, skipping
+        callback registration and the generic trigger walk. The claim
+        preserves heap-operation order exactly, so fast and generic
+        dispatch produce identical event interleavings.
+        """
+        if (
+            target.__class__ is Timeout
+            and target._proc is None
+            and not target._triggered
+            and not target._callbacks
+            and self.sim._fast_dispatch
+        ):
+            target._proc = self
+            self._waiting_on = target
             return
         if not isinstance(target, Event):
             self._throw(
@@ -117,18 +190,22 @@ class Process(Event):
         # the middle of whatever call stack fired it. (Concretely: a
         # driver posting a receive must finish posting before the NIC
         # process that was blocked on that doorbell runs.)
-        if event.ok:
-            self.sim._schedule_call(0, self._resume, event.value, None)
+        sim = self.sim
+        if event._ok:
+            sim._sequence += 1
+            heappush(
+                sim._queue,
+                (sim.now, sim._sequence, self._resume, (event._value, None)),
+            )
         else:
-            exc = event.value
+            exc = event._value
             if not isinstance(exc, BaseException):
                 exc = EventFailed(exc)
-            self.sim._schedule_call(0, self._deferred_throw, exc, None)
-
-    def _deferred_throw(self, exc: BaseException, _unused: Any) -> None:
-        if self.triggered:
-            return
-        self._step(lambda: self.generator.throw(exc))
+            sim._sequence += 1
+            heappush(
+                sim._queue,
+                (sim.now, sim._sequence, self._deferred_throw, (exc, None)),
+            )
 
 
 class Simulator:
@@ -140,9 +217,15 @@ class Simulator:
         Seed for the simulator's root RNG. Components should derive
         their own streams via :meth:`rng` so experiment results are
         reproducible regardless of construction order.
+    fast_dispatch:
+        Enable the claimed-timeout fast path and timeout pooling
+        (default). Disabling it routes every event through the generic
+        trigger machinery; results are bit-for-bit identical either
+        way — the flag exists for the equivalence tests and as an
+        escape hatch.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, fast_dispatch: bool = True):
         self.now: int = 0
         self.seed = seed
         self._queue: list = []
@@ -150,6 +233,8 @@ class Simulator:
         self._running = False
         self._process_count = 0
         self._root_rng = random.Random(seed)
+        self._fast_dispatch = fast_dispatch
+        self._timeout_pool: list = []
 
     # -- randomness --------------------------------------------------------
 
@@ -169,8 +254,38 @@ class Simulator:
         return Event(self, name=name)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` ns from now."""
+        """Create an event that fires ``delay`` ns from now.
+
+        Reuses a pooled instance when one is available; see
+        :class:`~repro.sim.events.Timeout` for the (kernel-owned
+        once yielded bare) ownership rule.
+        """
+        pool = self._timeout_pool
+        if pool:
+            delay = int(delay)
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            timeout = pool.pop()
+            # Pooled instances arrive from Timeout._fire's claimed
+            # path, which guarantees _proc is None, _ok is True, and
+            # _callbacks is still an (empty) list — only the fields
+            # that vary per arm need a store here.
+            timeout._triggered = False
+            timeout.delay = delay
+            timeout._tvalue = value
+            self._sequence += 1
+            heappush(
+                self._queue,
+                (self.now + delay, self._sequence, timeout._fire, ()),
+            )
+            return timeout
         return Timeout(self, int(delay), value)
+
+    def _recycle_timeout(self, timeout: Timeout) -> None:
+        """Return a consumed fast-path timeout to the pool."""
+        pool = self._timeout_pool
+        if len(pool) < _TIMEOUT_POOL_MAX:
+            pool.append(timeout)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event triggering when the first of ``events`` triggers."""
@@ -193,23 +308,27 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now={self.now}"
             )
-        self._push(time, fn, args)
+        self._sequence += 1
+        heappush(self._queue, (time, self._sequence, fn, args))
 
     def call_in(self, delay: int, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` ns."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._push(self.now + int(delay), fn, args)
+        self._sequence += 1
+        heappush(self._queue, (self.now + int(delay), self._sequence, fn, args))
 
     def _schedule_call(self, delay: int, fn: Callable, a: Any, b: Any) -> None:
-        self._push(self.now + int(delay), fn, (a, b))
+        self._sequence += 1
+        heappush(self._queue, (self.now + int(delay), self._sequence, fn, (a, b)))
 
     def _schedule_trigger(self, delay: int, event: Event, value: Any) -> None:
-        self._push(self.now + int(delay), event.succeed, (value,))
+        self._sequence += 1
+        heappush(self._queue, (self.now + int(delay), self._sequence, event.succeed, (value,)))
 
     def _push(self, time: int, fn: Callable, args: tuple) -> None:
         self._sequence += 1
-        heapq.heappush(self._queue, (time, self._sequence, fn, args))
+        heappush(self._queue, (time, self._sequence, fn, args))
 
     # -- execution ---------------------------------------------------------
 
@@ -223,16 +342,28 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        queue = self._queue
+        pop = heappop
         try:
-            while self._queue:
-                time, _seq, fn, args = self._queue[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(self._queue)
-                self.now = time
-                fn(*args)
-            if until is not None and until > self.now:
-                self.now = until
+            if until is None:
+                now = self.now
+                while queue:
+                    time, _seq, fn, args = pop(queue)
+                    if time != now:
+                        now = self.now = time
+                    fn(*args)
+            else:
+                now = self.now
+                while queue:
+                    time = queue[0][0]
+                    if time > until:
+                        break
+                    _t, _seq, fn, args = pop(queue)
+                    if time != now:
+                        now = self.now = time
+                    fn(*args)
+                if until > self.now:
+                    self.now = until
         finally:
             self._running = False
         return self.now

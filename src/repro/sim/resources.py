@@ -41,6 +41,8 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        # Event names are formatted once here, not per acquire().
+        self._grant_name = name + ".grant"
 
     @property
     def in_use(self) -> int:
@@ -54,7 +56,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires when a slot is granted."""
-        grant = self.sim.event(name=f"{self.name}.grant")
+        grant = Event(self.sim, self._grant_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             grant.succeed()
@@ -87,6 +89,7 @@ class Store:
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
+        self._get_name = name + ".get"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -100,7 +103,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event yielding the next item."""
-        request = self.sim.event(name=f"{self.name}.get")
+        request = Event(self.sim, self._get_name)
         if self._items:
             request.succeed(self._items.popleft())
         else:
@@ -134,6 +137,7 @@ class TokenBucket:
         self.bytes_per_ns = bytes_per_ns
         self.name = name
         self._free_at = 0  # virtual time the serializer becomes idle
+        self._tx_name = name + ".tx"
 
     @property
     def busy_until(self) -> int:
@@ -151,6 +155,6 @@ class TokenBucket:
         start = max(self._free_at, self.sim.now)
         duration = int(round(nbytes / self.bytes_per_ns))
         self._free_at = start + duration
-        done = self.sim.event(name=f"{self.name}.tx")
+        done = Event(self.sim, self._tx_name)
         self.sim.call_at(self._free_at + extra_delay, done.succeed, None)
         return done
