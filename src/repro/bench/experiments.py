@@ -97,6 +97,10 @@ class MicrobenchResult:
     replica_cpu_fraction: float
     throughput_kops: float = 0.0
     errors: List[str] = field(default_factory=list)
+    samples_ns: List[int] = field(default_factory=list)
+    """Raw per-op latencies (ns). Lets sweep merging be sample-exact
+    (:func:`repro.bench.parallel.merge_run_stats`); empty for
+    experiments that only measure aggregates (throughput)."""
 
 
 def microbench_latency(
@@ -178,6 +182,7 @@ def microbench_latency(
         stats=recorder.stats(),
         replica_cpu_fraction=cpu_fraction,
         errors=list(group.errors),
+        samples_ns=list(recorder.samples_ns),
     )
 
 

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .experiments import run_experiment
-from .harness import LatencyStats, merge_stats
+from .harness import LatencyRecorder, LatencyStats, merge_stats
 
 __all__ = [
     "RunSpec",
@@ -195,15 +195,42 @@ def run_parallel(
 def merge_run_stats(results: Iterable[RunResult]) -> LatencyStats:
     """Merge the latency stats of completed runs into one summary.
 
-    Order-independent (see :func:`repro.bench.harness.merge_stats`).
-    Runs without latency stats (e.g. pure-throughput outputs) are
-    skipped; raises if nothing remains.
+    When every contributing run carries its raw samples
+    (``output["samples_ns"]``, recorded by the latency experiments),
+    the merge is **sample-exact**: all samples are folded into one
+    :class:`~repro.bench.harness.LatencyRecorder`, so merged
+    percentiles equal those of a single run that saw every operation.
+    Runs that only ship summaries fall back to the count-weighted
+    :func:`~repro.bench.harness.merge_stats` approximation.
+
+    Order-independent either way. Runs without latency stats (e.g.
+    pure-throughput outputs) are skipped; raises if nothing remains.
     """
     parts: List[LatencyStats] = []
+    sample_lists: List[List[int]] = []
+    exact = True
     for result in results:
         stats = result.stats_dict()
-        if stats and stats.get("count"):
-            parts.append(LatencyStats(**stats))
+        if not (stats and stats.get("count")):
+            continue
+        parts.append(LatencyStats(**stats))
+        samples = (
+            result.output.get("samples_ns")
+            if isinstance(result.output, dict)
+            else None
+        )
+        if samples and len(samples) == stats["count"]:
+            sample_lists.append(samples)
+        else:
+            exact = False
     if not parts:
         raise ValueError("no run carried latency stats")
+    if exact and sample_lists:
+        merged = LatencyRecorder("merged")
+        for samples in sample_lists:
+            part = LatencyRecorder()
+            part.samples_ns = list(samples)
+            part._sum_ns = sum(samples)
+            merged.merge(part)
+        return merged.stats()
     return merge_stats(parts)

@@ -38,7 +38,9 @@ __all__ = [
     "bench_kernel_events",
     "bench_gwrite",
     "bench_fig8",
+    "bench_fig8_traced",
     "bench_parallel_scaling",
+    "annotate_parallel_entry",
     "run_suite",
     "write_history",
     "main",
@@ -127,6 +129,42 @@ def bench_fig8(n_ops: int = 500) -> Dict[str, Any]:
     }
 
 
+def bench_fig8_traced(n_ops: int = 60) -> Dict[str, Any]:
+    """A tiny Fig-8 slice run under the tracer (``repro.obs``).
+
+    Returns the simulated result alongside the trace digest so a perf
+    entry can record *where* kernel time went, not just how much there
+    was. The p50 must match an untraced run of the same configuration —
+    tracing never changes simulated results.
+    """
+    from ..obs import tracing
+    from ..obs.report import summary
+    from .experiments import microbench_latency
+
+    started = time.perf_counter()
+    with tracing() as tracer:
+        result = microbench_latency(
+            "hyperloop",
+            message_size=1024,
+            n_ops=n_ops,
+            n_cores=8,
+            stress_per_core=1,
+            pipeline_depth=4,
+            rounds=512,
+        )
+        digest = summary(tracer)
+    wall = time.perf_counter() - started
+    return {
+        "ops": n_ops,
+        "wall_s": wall,
+        "p50_us": result.stats.p50,
+        "top_cost_center": digest["top_cost_center"],
+        "dispatches": digest["dispatches"],
+        "records": digest["records"],
+        "counters": digest["counters"],
+    }
+
+
 def bench_parallel_scaling(
     workers: int = 4, n_runs: int = 4, n_ops: int = 120
 ) -> Dict[str, Any]:
@@ -167,7 +205,36 @@ def bench_parallel_scaling(
     }
 
 
-def run_suite(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
+def annotate_parallel_entry(
+    scaling: Dict[str, Any], cpu_count: Optional[int]
+) -> Dict[str, Any]:
+    """Build the history entry's ``parallel`` block.
+
+    Records ``cpu_count`` next to the speedup and *flags* (never
+    asserts on) a scaling number measured on a single-core host: there
+    the pooled workers time-share one CPU, so "speedup" measures pool
+    overhead, not scaling — the PR-1 0.36x entry read as a regression
+    for exactly this reason.
+    """
+    entry = {
+        "runs": scaling["runs"],
+        "workers": scaling["workers"],
+        "serial_s": round(scaling["serial_s"], 2),
+        "parallel_s": round(scaling["parallel_s"], 2),
+        "speedup": round(scaling["speedup"], 2),
+        "cpu_count": cpu_count,
+    }
+    if (cpu_count or 1) <= 1:
+        entry["speedup_flag"] = (
+            "single-core host: workers time-share one CPU, so this number "
+            "measures pool overhead, not parallel scaling"
+        )
+    return entry
+
+
+def run_suite(
+    quick: bool = False, repeats: int = 3, trace: bool = False
+) -> Dict[str, Any]:
     """Run every benchmark; returns one history entry (no I/O)."""
     if quick:
         repeats = 1
@@ -204,12 +271,16 @@ def run_suite(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
             raise AssertionError(
                 "parallel runner diverged from serial reference"
             )
-        entry["parallel"] = {
-            "runs": scaling["runs"],
-            "workers": scaling["workers"],
-            "serial_s": round(scaling["serial_s"], 2),
-            "parallel_s": round(scaling["parallel_s"], 2),
-            "speedup": round(scaling["speedup"], 2),
+        entry["parallel"] = annotate_parallel_entry(scaling, entry["cpu_count"])
+
+    if trace:
+        traced = bench_fig8_traced(n_ops=30 if quick else 60)
+        entry["trace"] = {
+            "ops": traced["ops"],
+            "p50_us": round(traced["p50_us"], 3),
+            "top_cost_center": traced["top_cost_center"],
+            "dispatches": traced["dispatches"],
+            "records": traced["records"],
         }
     return entry
 
@@ -234,6 +305,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--label", default="", help="history entry label")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="annotate the entry with a traced Fig-8 slice (repro.obs)",
+    )
+    parser.add_argument(
         "--output",
         default=BENCH_FILE,
         help=f"history file (default ./{BENCH_FILE}); '-' prints only",
@@ -244,7 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.label:
         entry["label"] = args.label
     entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
-    entry.update(run_suite(quick=args.quick, repeats=args.repeats))
+    entry.update(run_suite(quick=args.quick, repeats=args.repeats, trace=args.trace))
 
     print(json.dumps(entry, indent=2))
     if args.output != "-":

@@ -10,6 +10,7 @@ Examples::
     python -m repro fig11
     python -m repro fig12 --workload A
     python -m repro sweep          # the tenancy sweep headline table
+    python -m repro trace          # traced run -> Chrome-trace JSON + report
 """
 
 from __future__ import annotations
@@ -91,6 +92,39 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=None, help="processes (default: all cores)")
     bench.add_argument("--serial", action="store_true", help="run in-process (reference path)")
 
+    trace = sub.add_parser(
+        "trace",
+        help="traced experiment run: Chrome-trace export + attribution report",
+        description=(
+            "Run one experiment with the repro.obs tracer enabled, export a "
+            "Chrome-trace/Perfetto JSON timeline, and print the counter and "
+            "kernel time-attribution report. Tracing changes no simulated "
+            "result — the run produces exactly the numbers an untraced run "
+            "would."
+        ),
+    )
+    trace.add_argument("--system", choices=SYSTEMS, default="hyperloop")
+    trace.add_argument(
+        "--primitive", choices=["gwrite", "gmemcpy", "gcas"], default="gwrite"
+    )
+    trace.add_argument("--size", type=int, default=1024, help="message bytes")
+    trace.add_argument("--ops", type=int, default=50)
+    trace.add_argument("--stress", type=int, default=1, help="tenants per replica core")
+    trace.add_argument("--cores", type=int, default=8)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument(
+        "--out", default="trace.json", help="Chrome-trace JSON path ('-' skips export)"
+    )
+    trace.add_argument(
+        "--op",
+        type=int,
+        default=None,
+        help="print this round's chain timeline (default: a mid-run round)",
+    )
+    trace.add_argument(
+        "--capacity", type=int, default=None, help="ring-buffer record capacity"
+    )
+
     return parser
 
 
@@ -103,6 +137,7 @@ def _cmd_list() -> int:
         ("fig12", "split MongoDB on YCSB, native vs HyperLoop (Fig 12)"),
         ("sweep", "the headline tenancy sweep"),
         ("bench", "parallel seed/config sweep with merged stats"),
+        ("trace", "traced run: Chrome-trace timeline + attribution report"),
     ]
     print(format_table("Experiments", ["command", "what it reproduces"], rows))
     return 0
@@ -315,6 +350,56 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import (
+        op_timeline,
+        render_report,
+        tracing,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    with tracing(capacity=args.capacity) as tracer:
+        result = microbench_latency(
+            args.system,
+            primitive=args.primitive,
+            message_size=args.size,
+            n_cores=args.cores,
+            n_ops=args.ops,
+            stress_per_core=args.stress,
+            pipeline_depth=min(4, args.ops),
+            rounds=512,
+            seed=args.seed,
+        )
+    stats = result.stats
+    print(
+        f"{args.system} {args.primitive} {args.size}B x{args.ops}: "
+        f"p50={stats.p50:.1f}us p99={stats.p99:.1f}us "
+        f"({len(tracer)} trace records, {tracer.dispatches} dispatches)"
+    )
+    if args.out != "-":
+        document = write_chrome_trace(tracer, args.out)
+        problems = validate_chrome_trace(document)
+        if problems:
+            print(f"exported {args.out} has schema problems:", file=sys.stderr)
+            for problem in problems[:10]:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"wrote {args.out} ({len(document['traceEvents'])} events) — "
+            "open in chrome://tracing or https://ui.perfetto.dev"
+        )
+    print()
+    print(render_report(tracer))
+    round_ = args.op if args.op is not None else args.ops // 2
+    print()
+    print(op_timeline(tracer, round_, primitive=args.primitive))
+    if result.errors:
+        print(f"errors: {result.errors[:3]}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -326,6 +411,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig12": lambda: _cmd_fig12(args),
         "sweep": lambda: _cmd_sweep(args),
         "bench": lambda: _cmd_bench(args),
+        "trace": lambda: _cmd_trace(args),
     }
     return handlers[args.command]()
 

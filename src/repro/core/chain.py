@@ -37,6 +37,7 @@ from typing import List, Optional, Sequence
 
 from ..hw.host import Host
 from ..hw.nic import AccessFlags
+from ..obs.trace import TRACER
 from ..hw.wqe import (
     FLAG_SGL,
     FLAG_SIGNALED,
@@ -508,6 +509,16 @@ class Chain:
             )
         )
         self.client_qp.post_send_batch(wqes)
+        if TRACER.enabled:
+            TRACER.record(
+                self.group.sim.now,
+                "i",
+                "group",
+                f"chain.post.{self.primitive}",
+                pid=f"group:{self.group.name}",
+                tid=f"chain/{self.primitive}",
+                args={"round": round_, "wqes": len(wqes)},
+            )
         return round_
 
     def client_post_cost(self, op: OpSpec) -> int:

@@ -32,6 +32,7 @@ from typing import Dict, Generator, List, Optional, Sequence
 from ..hw.cpu import Task
 from ..hw.host import Host
 from ..hw.nic import AccessFlags
+from ..obs.trace import TRACER
 from ..rdma.reader import RemoteReader
 from ..sim import Event, Resource, US
 from .chain import Chain, GCAS, GMEMCPY, GWRITE, OpSpec
@@ -239,15 +240,54 @@ class HyperLoopGroup:
         if chain is None:
             raise RuntimeError(f"group built without the {primitive} chain")
         flow = self._flow[primitive]
-        yield from task.wait(flow.acquire())
+        traced = TRACER.enabled
+        if traced:
+            # One span per op, on the issuing task's lane: a worker has
+            # at most one group op in flight, so spans never overlap
+            # within a tid. The round is attached at the "posted"
+            # instant and on the end event (it is unknown at begin).
+            TRACER.record(
+                self.sim.now,
+                "B",
+                "group",
+                f"{self.name}.{primitive}",
+                pid=f"group:{self.name}",
+                tid=task.name,
+                args={"size": op.size},
+            )
+            TRACER.count("group.ops")
+        round_ = None
         try:
-            yield from task.compute(chain.client_post_cost(op))
-            round_ = chain.client_post(op)
-            ack = self.sim.event(name=f"{self.name}.{primitive}.{round_}")
-            self._waiters[primitive][round_] = ack
-            result = yield from task.wait(ack)
+            yield from task.wait(flow.acquire())
+            try:
+                yield from task.compute(chain.client_post_cost(op))
+                round_ = chain.client_post(op)
+                if traced:
+                    TRACER.record(
+                        self.sim.now,
+                        "i",
+                        "group",
+                        "posted",
+                        pid=f"group:{self.name}",
+                        tid=task.name,
+                        args={"round": round_},
+                    )
+                ack = self.sim.event(name=f"{self.name}.{primitive}.{round_}")
+                self._waiters[primitive][round_] = ack
+                result = yield from task.wait(ack)
+            finally:
+                flow.release()
         finally:
-            flow.release()
+            if traced:
+                TRACER.record(
+                    self.sim.now,
+                    "E",
+                    "group",
+                    f"{self.name}.{primitive}",
+                    pid=f"group:{self.name}",
+                    tid=task.name,
+                    args=None if round_ is None else {"round": round_},
+                )
         return result
 
     # -- client completion handling ------------------------------------------------------

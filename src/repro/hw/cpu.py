@@ -45,6 +45,7 @@ from typing import Callable, Deque, Generator, List, Optional
 
 from collections import deque
 
+from ..obs.trace import TRACER
 from ..sim import Event, Simulator, US, MS
 
 __all__ = ["SchedParams", "OperatingSystem", "Task", "Core"]
@@ -507,6 +508,33 @@ class OperatingSystem:
         if switch:
             core.context_switches += 1
             delay = self.params.context_switch_ns
+        if TRACER.enabled:
+            now = self.sim.now
+            tid = f"core{core.index}"
+            if switch:
+                # The switch cost is a fixed delay starting now, so the
+                # span can be emitted up front with its full duration.
+                TRACER.record(
+                    now,
+                    "X",
+                    "scheduler",
+                    "ctx_switch",
+                    pid=self.name,
+                    tid=tid,
+                    dur=delay,
+                    args={"task": task.name},
+                )
+                TRACER.count("cpu.context_switches")
+            TRACER.record(
+                now,
+                "i",
+                "scheduler",
+                "dispatch",
+                pid=self.name,
+                tid=tid,
+                args={"task": task.name, "interactive": task.interactive},
+            )
+            TRACER.count("cpu.dispatches")
         core.last_task = task
         if waking:
             event = task._dispatch_event
@@ -545,6 +573,8 @@ class OperatingSystem:
         self.sim.call_in(delay, self._on_preempt_check, core)
 
     def _on_preempt_check(self, core: Core) -> None:
+        if TRACER.enabled:
+            TRACER.count("cpu.preempt_checks")
         if not core.interactive_queue:
             return
         current = core.current

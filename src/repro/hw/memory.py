@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import TRACER
+
 __all__ = ["MemorySystem", "MemoryRegion", "WriteCache", "MemoryError_"]
 
 
@@ -275,6 +277,9 @@ class WriteCache:
         if not data:
             return
         if self.pending_bytes + len(data) > self.capacity:
+            if TRACER.enabled:
+                TRACER.count("nic.write_cache_evictions")
+                TRACER.count("nic.write_cache_evicted_entries", len(self._entries))
             self.flush_all()
         pre_image = self.memory.read(addr, len(data))
         self._entries.append((addr, pre_image))

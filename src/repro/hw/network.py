@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from ..obs.trace import TRACER
 from ..sim import Simulator, TokenBucket
 
 __all__ = ["Fabric", "Port", "GBPS", "wire_bytes"]
@@ -103,15 +104,30 @@ class Fabric:
             raise RuntimeError(f"port {dst!r} has no receive callback")
         src_port.tx_messages += 1
         src_port.tx_bytes += nbytes
+        # t_sent is threaded through to _deliver so a traced run can
+        # render the full wire span (serialize + propagate) without
+        # storing any per-message state on the fabric.
+        t_sent = self.sim.now
         if src == dst:
             # On-adapter loopback: just the NIC-internal turnaround.
-            self.sim.call_in(100, self._deliver, dst_port, src, payload)
+            self.sim.call_in(100, self._deliver, dst_port, src, payload, t_sent)
             return
         done = src_port.egress.transmit(
             wire_bytes(nbytes), extra_delay=self.propagation_ns
         )
-        done.add_callback(lambda _evt: self._deliver(dst_port, src, payload))
+        done.add_callback(lambda _evt: self._deliver(dst_port, src, payload, t_sent))
 
-    def _deliver(self, port: Port, src: str, payload: Any) -> None:
+    def _deliver(self, port: Port, src: str, payload: Any, t_sent: int = 0) -> None:
         port.rx_messages += 1
+        if TRACER.enabled:
+            TRACER.record(
+                t_sent,
+                "X",
+                "fabric",
+                f"{src}->{port.name}",
+                pid="fabric",
+                tid=port.name,
+                dur=self.sim.now - t_sent,
+            )
+            TRACER.count("fabric.deliveries")
         port.receive(src, payload)

@@ -45,6 +45,7 @@ from .wqe import (
     WQE_SIZE,
     decode_cached,
 )
+from ..obs.trace import TRACER
 from ..sim import Event, Simulator, Store
 from .memory import MemoryRegion, MemorySystem, WriteCache
 from .network import Fabric
@@ -280,6 +281,17 @@ class NicQp:
         if producer < self.send_producer:
             raise ValueError("doorbell may not move backwards")
         self.send_producer = producer
+        if TRACER.enabled:
+            TRACER.record(
+                self.nic.sim.now,
+                "i",
+                "nic",
+                "doorbell.send",
+                pid=self.nic.name,
+                tid=f"qp{self.qpn}/tx",
+                args={"producer": producer},
+            )
+            TRACER.count("nic.doorbells")
         self.kick()
 
     def ring_recv_doorbell(self, producer: int) -> None:
@@ -287,6 +299,17 @@ class NicQp:
         if producer < self.recv_producer:
             raise ValueError("doorbell may not move backwards")
         self.recv_producer = producer
+        if TRACER.enabled:
+            TRACER.record(
+                self.nic.sim.now,
+                "i",
+                "nic",
+                "doorbell.recv",
+                pid=self.nic.name,
+                tid=f"qp{self.qpn}/rx",
+                args={"producer": producer},
+            )
+            TRACER.count("nic.doorbells")
         if self._recv_kick_event is not None and not self._recv_kick_event.triggered:
             self._recv_kick_event.succeed()
 
@@ -374,15 +397,41 @@ class NicQp:
                 # trigger time.
                 target = cq.wait_consumed + need
                 cq.wait_consumed = target
+                wait_from = sim.now
                 if cq.completions_total < target:
                     yield cq.threshold_event(target)
                 yield sim.timeout(params.wait_fallthrough_ns)
+                if TRACER.enabled:
+                    TRACER.record(
+                        wait_from,
+                        "X",
+                        "nic",
+                        "WAIT",
+                        pid=self.nic.name,
+                        tid=f"qp{self.qpn}/tx",
+                        dur=sim.now - wait_from,
+                        args={"wr_id": wqe.wr_id, "threshold": target},
+                    )
+                    TRACER.count("nic.wait_triggers")
                 self.send_consumer += 1
                 continue
+            exec_from = sim.now
             yield sim.timeout(
                 params.wqe_process_ns + self.nic.qp_context_penalty(self.qpn)
             )
             self._launch(wqe)
+            if TRACER.enabled:
+                TRACER.record(
+                    exec_from,
+                    "X",
+                    "nic",
+                    Opcode.NAMES.get(wqe.opcode, f"op{wqe.opcode}"),
+                    pid=self.nic.name,
+                    tid=f"qp{self.qpn}/tx",
+                    dur=sim.now - exec_from,
+                    args={"wr_id": wqe.wr_id, "len": wqe.length},
+                )
+                TRACER.count("nic.wqe_executed")
             self.send_consumer += 1
 
     def _launch(self, wqe: Wqe) -> None:
@@ -482,9 +531,22 @@ class NicQp:
             if msg.kind in ("ack", "resp"):
                 self._on_response(msg)
                 continue
+            rx_from = sim.now
             yield sim.timeout(
                 params.rx_process_ns + self.nic.qp_context_penalty(self.qpn)
             )
+            if TRACER.enabled:
+                TRACER.record(
+                    rx_from,
+                    "X",
+                    "nic",
+                    f"rx.{msg.kind}",
+                    pid=self.nic.name,
+                    tid=f"qp{self.qpn}/rx",
+                    dur=sim.now - rx_from,
+                    args={"len": len(msg.payload)},
+                )
+                TRACER.count("nic.rx_messages")
             if msg.kind == "write":
                 self._rx_write(msg, imm=False)
             elif msg.kind == "write_imm":
@@ -689,8 +751,12 @@ class Rnic:
         """
         if qpn in self._hot_qps:
             self._hot_qps.move_to_end(qpn)
+            if TRACER.enabled:
+                TRACER.count("nic.qp_cache_hits")
             return 0
         self.qp_cache_misses += 1
+        if TRACER.enabled:
+            TRACER.count("nic.qp_cache_misses")
         self._hot_qps[qpn] = None
         if len(self._hot_qps) > self.params.qp_cache_entries:
             self._hot_qps.popitem(last=False)

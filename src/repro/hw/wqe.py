@@ -31,6 +31,8 @@ import struct
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.trace import TRACER
+
 __all__ = [
     "Opcode",
     "WQE_SIZE",
@@ -225,6 +227,8 @@ def decode_cached(data) -> Wqe:
     """
     key = bytes(data)
     wqe = _DECODE_CACHE.get(key)
+    if TRACER.enabled:
+        TRACER.count("nic.wqe_decode_hits" if wqe is not None else "nic.wqe_decode_misses")
     if wqe is None:
         if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
             # Rings hold a few hundred distinct descriptors per run;

@@ -39,6 +39,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
+from ..obs.trace import TRACER
 
 __all__ = ["Simulator", "Process", "SimulationError"]
 
@@ -235,6 +236,13 @@ class Simulator:
         self._root_rng = random.Random(seed)
         self._fast_dispatch = fast_dispatch
         self._timeout_pool: list = []
+        # Observability hook: None on the fast path. A tracer attaches
+        # itself only to simulators constructed while tracing is
+        # enabled (or via Tracer.install), so untraced runs never see
+        # the instrumented loop.
+        self._obs = None
+        if TRACER.enabled:
+            TRACER.install(self)
 
     # -- randomness --------------------------------------------------------
 
@@ -339,6 +347,11 @@ class Simulator:
         the clock is advanced exactly to it even if the last event fired
         earlier, so back-to-back ``run(until=...)`` calls tile time.
         """
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            # Checked once per run() call, never per event: the traced
+            # loop is a swapped copy, not a branch in the hot path.
+            return obs.run_traced(self, until)
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True

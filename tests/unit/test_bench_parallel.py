@@ -6,11 +6,14 @@ parallel, and identical with the kernel's fast dispatch on or off.
 Merging is order-independent.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.bench import experiments as experiments_module
 from repro.bench.harness import LatencyRecorder, LatencyStats, merge_stats
 from repro.bench.parallel import (
+    RunResult,
     RunSpec,
     derive_seed,
     make_specs,
@@ -165,6 +168,61 @@ class TestMerging:
         assert merged.count == sum(
             result.output["stats"]["count"] for result in results
         )
+
+    def test_latency_output_ships_raw_samples(self):
+        # The sample-exact merge path exists because latency outputs
+        # now carry every recorded sample, not just the summary.
+        (result,) = run_serial(quick_specs(n_seeds=1))
+        samples = result.output["samples_ns"]
+        assert len(samples) == result.output["stats"]["count"]
+        assert all(isinstance(sample, int) for sample in samples)
+
+    def test_merge_run_stats_is_sample_exact_over_sweep(self):
+        # Merged percentiles must equal those of one recorder that saw
+        # every sample — not the count-weighted approximation.
+        results = run_serial(quick_specs())
+        reference = LatencyRecorder("reference")
+        for result in results:
+            for sample in result.output["samples_ns"]:
+                reference.record(sample)
+        assert merge_run_stats(results) == reference.stats()
+
+    def _summary_only_result(self, seed, samples):
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.record(sample)
+        return RunResult(
+            spec=RunSpec.make("latency", seed),
+            output={"stats": dataclasses.asdict(recorder.stats())},
+        )
+
+    def test_merge_run_stats_falls_back_without_samples(self):
+        left = self._summary_only_result(1, [1000, 2000, 4000])
+        right = self._summary_only_result(2, [500, 8000])
+        merged = merge_run_stats([left, right])
+        expected = merge_stats(
+            [
+                LatencyStats(**left.output["stats"]),
+                LatencyStats(**right.output["stats"]),
+            ]
+        )
+        assert merged == expected
+
+    def test_merge_run_stats_mismatched_samples_use_fallback(self):
+        # A run whose sample list does not match its count (truncated
+        # transport, say) poisons exactness for the whole merge: the
+        # approximation is honest, a partial sample-merge would not be.
+        complete = self._summary_only_result(1, [1000, 2000])
+        truncated = self._summary_only_result(2, [3000, 5000, 7000])
+        truncated.output["samples_ns"] = [3000]
+        merged = merge_run_stats([complete, truncated])
+        expected = merge_stats(
+            [
+                LatencyStats(**complete.output["stats"]),
+                LatencyStats(**truncated.output["stats"]),
+            ]
+        )
+        assert merged == expected
 
     def test_merge_stats_empty_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,181 @@
+"""Unit tests for the trace exporters (``repro.obs.export``).
+
+One small traced HyperLoop latency run is shared across the module;
+tests assert the Chrome-trace document is schema-valid, carries every
+instrumented subsystem, and that the per-op timeline reconstructs a
+gWRITE's replica chain from correlation ids alone.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import microbench_latency
+from repro.obs import (
+    TRACER,
+    op_records,
+    op_timeline,
+    to_chrome_trace,
+    tracing,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+# Mid-run round whose records the correlation tests inspect.
+ROUND = 3
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """(tracer, result, document) for one tiny traced Fig-8 slice."""
+    TRACER.disable()
+    TRACER.reset()
+    with tracing() as tracer:
+        result = microbench_latency(
+            "hyperloop",
+            message_size=256,
+            n_ops=8,
+            n_cores=4,
+            stress_per_core=1,
+            pipeline_depth=2,
+            rounds=256,
+            seed=7,
+        )
+    return tracer, result, to_chrome_trace(tracer)
+
+
+class TestChromeTraceDocument:
+    def test_document_is_schema_valid(self, traced):
+        _, _, document = traced
+        assert validate_chrome_trace(document) == []
+
+    def test_every_instrumented_subsystem_appears(self, traced):
+        _, _, document = traced
+        cats = {
+            event["cat"]
+            for event in document["traceEvents"]
+            if event["ph"] != "M"
+        }
+        assert {"kernel", "nic", "fabric", "scheduler", "group"} <= cats
+
+    def test_pid_tid_are_ints_with_metadata_names(self, traced):
+        _, _, document = traced
+        events = document["traceEvents"]
+        assert all(isinstance(e["pid"], int) for e in events)
+        assert all(isinstance(e["tid"], int) for e in events)
+        process_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "fabric" in process_names
+        assert "kernel" in process_names
+        assert any(name.startswith("group:") for name in process_names)
+
+    def test_complete_spans_carry_durations(self, traced):
+        _, _, document = traced
+        x_events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert x_events
+        assert all(isinstance(e["dur"], (int, float)) for e in x_events)
+        # At least one span is a real interval, not a zero-width mark.
+        assert any(e["dur"] > 0 for e in x_events)
+
+    def test_timestamps_are_simulated_microseconds(self, traced):
+        tracer, _, document = traced
+        recs = list(tracer.iter_records())
+        events = [e for e in document["traceEvents"] if e["ph"] != "M"]
+        assert len(events) == len(recs)
+        assert events[0]["ts"] == recs[0].ts / 1000.0
+
+    def test_other_data_carries_counters_and_attribution(self, traced):
+        tracer, _, document = traced
+        other = document["otherData"]
+        assert other["counters"] == tracer.counters
+        assert other["dispatches"] == tracer.dispatches
+        assert "wall_ns_by_subsystem" in other
+
+    def test_write_round_trips_through_json(self, traced, tmp_path):
+        tracer, _, _ = traced
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(tracer, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert validate_chrome_trace(loaded) == []
+
+
+class TestOpCorrelation:
+    def test_op_records_are_time_ordered_and_correlated(self, traced):
+        tracer, _, _ = traced
+        records = op_records(tracer, ROUND)
+        assert records
+        assert [r.ts for r in records] == sorted(r.ts for r in records)
+        for rec in records:
+            assert (
+                rec.args.get("round") == ROUND
+                or rec.args.get("wr_id") == ROUND
+            )
+
+    def test_timeline_reconstructs_the_replica_chain(self, traced):
+        tracer, _, _ = traced
+        text = op_timeline(tracer, ROUND, primitive="gwrite")
+        # The chain post, the replicated WRITE WQEs, and the completion
+        # span must all be on the one-command timeline.
+        assert f"round {ROUND} timeline" in text
+        assert "chain.post.gwrite" in text
+        assert "WRITE" in text
+        assert "dur=" in text
+
+    def test_unknown_round_reports_cleanly(self, traced):
+        tracer, _, _ = traced
+        assert "no traced events" in op_timeline(tracer, 10**9)
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_dict(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_event_list(self):
+        assert validate_chrome_trace({"otherData": {}}) != []
+
+    def test_rejects_bad_phase(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1}]}
+        )
+        assert any("bad phase" in p for p in problems)
+
+    def test_rejects_x_without_dur(self):
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {
+                        "ph": "X",
+                        "name": "span",
+                        "cat": "nic",
+                        "ts": 1.0,
+                        "pid": 1,
+                        "tid": 1,
+                    }
+                ]
+            }
+        )
+        assert any("dur" in p for p in problems)
+
+    def test_rejects_string_pids(self):
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {
+                        "ph": "i",
+                        "name": "mark",
+                        "cat": "kernel",
+                        "ts": 0.0,
+                        "pid": "nic0",
+                        "tid": 1,
+                    }
+                ]
+            }
+        )
+        assert any("pid" in p for p in problems)
+
+    def test_accepts_the_empty_document(self):
+        assert validate_chrome_trace({"traceEvents": []}) == []

@@ -1,0 +1,44 @@
+"""Unit tests for perf-suite entry construction (no benchmarks run).
+
+S1 regression guard: a parallel-scaling number measured on a
+single-core host must be *flagged*, never asserted on — the PR-1
+``speedup: 0.36`` entry read as a regression until the entry said what
+it actually measured.
+"""
+
+from repro.bench.perfsuite import annotate_parallel_entry
+
+SCALING = {
+    "runs": 4,
+    "workers": 4,
+    "serial_s": 3.131,
+    "parallel_s": 8.604,
+    "speedup": 0.3639,
+    "identical": True,
+    "wall_s": 11.7,
+}
+
+
+class TestAnnotateParallelEntry:
+    def test_records_cpu_count_alongside_speedup(self):
+        entry = annotate_parallel_entry(SCALING, cpu_count=8)
+        assert entry["cpu_count"] == 8
+        assert entry["speedup"] == 0.36
+        assert entry["runs"] == 4
+        assert entry["workers"] == 4
+
+    def test_single_core_host_is_flagged_not_asserted(self):
+        entry = annotate_parallel_entry(SCALING, cpu_count=1)
+        assert "speedup_flag" in entry
+        assert "single-core" in entry["speedup_flag"]
+        assert "pool overhead" in entry["speedup_flag"]
+
+    def test_unknown_cpu_count_is_treated_as_single_core(self):
+        # os.cpu_count() may return None; the conservative reading is
+        # "cannot claim real parallelism", so the flag applies.
+        entry = annotate_parallel_entry(SCALING, cpu_count=None)
+        assert "speedup_flag" in entry
+
+    def test_multi_core_entry_carries_no_flag(self):
+        entry = annotate_parallel_entry(SCALING, cpu_count=4)
+        assert "speedup_flag" not in entry
