@@ -11,6 +11,7 @@ Examples::
     python -m repro fig12 --workload A
     python -m repro sweep          # the tenancy sweep headline table
     python -m repro trace          # traced run -> Chrome-trace JSON + report
+    python -m repro chaos --seed 7 # fault-injection matrix, invariant report
 """
 
 from __future__ import annotations
@@ -125,6 +126,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=None, help="ring-buffer record capacity"
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection scenario matrix with invariant checks",
+        description=(
+            "Run the repro.faults chaos matrix: each scenario pairs a workload "
+            "with a declarative fault plan (drops, partitions, NIC/host crashes, "
+            "power failures) and checks the paper's guarantees afterwards. The "
+            "report depends only on (scenario, seed) — two runs with the same "
+            "seed print byte-identical output."
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="run only this scenario (repeatable; default: the full matrix)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", dest="list_scenarios", help="list scenarios"
+    )
+    chaos.add_argument(
+        "--trace",
+        default=None,
+        help="also export a Chrome-trace JSON of the run (fault events included)",
+    )
+
     return parser
 
 
@@ -138,6 +166,7 @@ def _cmd_list() -> int:
         ("sweep", "the headline tenancy sweep"),
         ("bench", "parallel seed/config sweep with merged stats"),
         ("trace", "traced run: Chrome-trace timeline + attribution report"),
+        ("chaos", "fault-injection scenario matrix with invariant checks"),
     ]
     print(format_table("Experiments", ["command", "what it reproduces"], rows))
     return 0
@@ -400,6 +429,35 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .faults import SCENARIOS, render_matrix, run_matrix
+
+    if args.list_scenarios:
+        rows = [(name, spec.description) for name, spec in SCENARIOS.items()]
+        print(format_table("Chaos scenarios", ["scenario", "what it injects"], rows))
+        return 0
+    names = args.scenario
+    if names:
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    if args.trace:
+        from .obs import tracing, write_chrome_trace
+
+        with tracing() as tracer:
+            reports = run_matrix(args.seed, names)
+        document = write_chrome_trace(tracer, args.trace)
+        fault_events = sum(
+            1 for event in document["traceEvents"] if event.get("cat") == "fault"
+        )
+        print(f"wrote {args.trace} ({fault_events} fault events)", file=sys.stderr)
+    else:
+        reports = run_matrix(args.seed, names)
+    print(render_matrix(reports))
+    return 0 if all(report.passed for report in reports) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -412,6 +470,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": lambda: _cmd_sweep(args),
         "bench": lambda: _cmd_bench(args),
         "trace": lambda: _cmd_trace(args),
+        "chaos": lambda: _cmd_chaos(args),
     }
     return handlers[args.command]()
 

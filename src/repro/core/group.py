@@ -122,6 +122,7 @@ class HyperLoopGroup:
         }
         self._tasks: List[Task] = []
         self._started = False
+        self._stopping = False
         if autostart:
             self.start()
 
@@ -153,6 +154,18 @@ class HyperLoopGroup:
                 name=f"{self.name}.r{index}.maint",
             )
             self._tasks.append(task)
+
+    def stop(self) -> None:
+        """Retire the group: background tasks exit at their next wakeup.
+
+        Used on membership change — :class:`~repro.storage.recovery.
+        ChainRepair` abandons the old group wholesale, and without this
+        its replica maintenance tasks would keep waking forever. Tasks
+        blocked on events that will never fire (e.g. the ack handler of
+        a group whose chain is dead) simply stay dormant; no new timer
+        events are scheduled once they observe the flag.
+        """
+        self._stopping = True
 
     # -- public operations (drive from a client Task) ---------------------------------
 
@@ -322,6 +335,8 @@ class HyperLoopGroup:
 
         def body(task: Task) -> Generator:
             while True:
+                if self._stopping:
+                    return
                 pending = [c for c in chains if c.ack_qp.recv_cq.entries]
                 if not pending:
                     any_ack = self.sim.any_of(
@@ -348,6 +363,8 @@ class HyperLoopGroup:
         def body(task: Task) -> Generator:
             while True:
                 yield from task.sleep(self.maintenance_interval)
+                if self._stopping:
+                    return
                 # Timer wakeup + ring/CQ state checks.
                 yield from task.compute(500)
                 for chain in self.chains.values():

@@ -1,0 +1,151 @@
+"""Invariant checkers chaos scenarios assert after running.
+
+Each checker returns an :class:`InvariantResult` — a named pass/fail
+with a short deterministic detail string (offsets and counts, never
+wall-clock state), so scenario reports render byte-identical across
+runs with the same seed.
+
+The invariants come straight from the paper's guarantees:
+
+* *No acknowledged gWRITE lost* — once the tail ACK reached the
+  client, the bytes exist on every (surviving) replica.
+* *Replicas byte-identical* — after repair and quiesce, chain
+  replication leaves no divergence.
+* *WAL recovery restores committed operations* — a replica's durable
+  log + checkpoint reconstruct exactly the committed table (§5.1).
+* *Suspicion within bound* — a crashed replica is suspected within
+  ``miss_threshold`` beat intervals plus detection slack (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+__all__ = [
+    "InvariantResult",
+    "check_model_match",
+    "check_replicas_identical",
+    "check_no_errors",
+    "check_acked_writes",
+    "check_suspicion_bound",
+    "check_wal_recovery",
+]
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of one invariant check."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        state = "PASS" if self.ok else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{state}] {self.name}{suffix}"
+
+
+def check_model_match(group, model: bytes, name: str = "model-match") -> InvariantResult:
+    """Every replica's region equals the client-side model, byte for byte."""
+    model = bytes(model)
+    diverged = []
+    for replica in range(group.group_size):
+        actual = group.read_replica(replica, 0, group.region_size)
+        if actual != model:
+            first = next(
+                index for index in range(len(model)) if actual[index] != model[index]
+            )
+            diverged.append(f"r{replica}@+{first}")
+    if diverged:
+        return InvariantResult(name, False, "diverged: " + ", ".join(diverged))
+    return InvariantResult(name, True, f"{group.group_size} replicas x {len(model)}B")
+
+
+def check_replicas_identical(group, name: str = "replicas-identical") -> InvariantResult:
+    """All replica regions are pairwise identical."""
+    reference = group.read_replica(0, 0, group.region_size)
+    for replica in range(1, group.group_size):
+        actual = group.read_replica(replica, 0, group.region_size)
+        if actual != reference:
+            first = next(
+                index
+                for index in range(len(reference))
+                if actual[index] != reference[index]
+            )
+            return InvariantResult(name, False, f"r{replica} differs from r0 at +{first}")
+    return InvariantResult(name, True, f"{group.group_size} replicas")
+
+
+def check_no_errors(group, name: str = "no-group-errors") -> InvariantResult:
+    """The group surfaced no completion errors."""
+    if group.errors:
+        return InvariantResult(name, False, f"{len(group.errors)}: {group.errors[0]}")
+    return InvariantResult(name, True)
+
+
+def check_acked_writes(
+    group, acked: Mapping[int, bytes], name: str = "no-acked-write-lost"
+) -> InvariantResult:
+    """Every acknowledged write's bytes are present on every replica.
+
+    ``acked`` maps region offset to the *latest* acknowledged contents
+    at that offset (the caller keeps only the newest write per slab, so
+    overwrites don't false-positive).
+    """
+    missing: List[str] = []
+    for offset in sorted(acked):
+        data = acked[offset]
+        for replica in range(group.group_size):
+            actual = group.read_replica(replica, offset, len(data))
+            if actual != data:
+                missing.append(f"r{replica}@{offset}")
+    if missing:
+        return InvariantResult(
+            name, False, f"{len(missing)} lost: " + ", ".join(missing[:4])
+        )
+    return InvariantResult(name, True, f"{len(acked)} acked writes verified")
+
+
+def check_suspicion_bound(
+    monitor, crash_ns: int, detect_ns: int, slack_intervals: int = 3,
+    name: str = "suspicion-bound",
+) -> InvariantResult:
+    """Detection latency stays within the configured heartbeat bound.
+
+    A replica that crashes right after beating is suspected at worst
+    ``(miss_threshold + 1)`` intervals later; polling adds up to one
+    more. ``slack_intervals`` covers both.
+    """
+    bound = (monitor.miss_threshold + slack_intervals) * monitor.interval
+    latency = detect_ns - crash_ns
+    detail = f"{latency}ns <= {bound}ns"
+    if latency < 0:
+        return InvariantResult(name, False, f"suspected before the crash: {latency}ns")
+    if latency > bound:
+        return InvariantResult(name, False, detail.replace("<=", ">"))
+    return InvariantResult(name, True, detail)
+
+
+def check_wal_recovery(
+    store, replica: int, expected: Mapping[bytes, bytes], name: str = "wal-recovery"
+) -> InvariantResult:
+    """Recovering from one replica's durable state yields the committed table."""
+    recovered: Dict[bytes, bytes] = store.recover_from_replica(replica)
+    expected = dict(expected)
+    if recovered == expected:
+        return InvariantResult(name, True, f"r{replica}: {len(expected)} keys")
+    missing = sorted(key for key in expected if key not in recovered)
+    wrong = sorted(
+        key for key in expected if key in recovered and recovered[key] != expected[key]
+    )
+    extra = sorted(key for key in recovered if key not in expected)
+    parts = []
+    if missing:
+        parts.append(f"missing={len(missing)} first={missing[0]!r}")
+    if wrong:
+        parts.append(f"wrong={len(wrong)} first={wrong[0]!r}")
+    if extra:
+        parts.append(f"extra={len(extra)} first={extra[0]!r}")
+    return InvariantResult(name, False, f"r{replica}: " + ", ".join(parts))

@@ -1,0 +1,542 @@
+"""Chaos scenarios: a workload, a fault plan, and invariants.
+
+Each scenario builds a fresh cluster, installs a
+:class:`~repro.faults.plan.FaultInjector`, drives a workload (gWRITE
+streams, the mixed-primitive chaos generator, a YCSB-keyed update
+stream, or the replicated KV store), and checks the paper's guarantees
+afterwards. ``python -m repro chaos`` runs the registered matrix.
+
+Everything here is deterministic in ``(scenario, seed)``: operation
+streams and payloads come from named ``sim.rng`` streams, fault timing
+from the virtual clock, and reports contain no wall-clock state — the
+CI chaos job runs the matrix twice and diffs the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bench.harness import run_until
+from ..core.group import HyperLoopGroup
+from ..hw.host import Cluster
+from ..sim import MS, Simulator
+from ..storage.kvstore import ReplicatedKVStore
+from ..storage.recovery import ChainRepair, HeartbeatMonitor
+from ..workloads.ycsb import WORKLOADS, YcsbWorkload
+from .invariants import (
+    InvariantResult,
+    check_acked_writes,
+    check_model_match,
+    check_no_errors,
+    check_replicas_identical,
+    check_suspicion_bound,
+    check_wal_recovery,
+)
+from .plan import FaultInjector, FaultPlan
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioReport",
+    "run_scenario",
+    "run_matrix",
+    "render_matrix",
+]
+
+
+@dataclass
+class ScenarioReport:
+    """Deterministic outcome of one chaos scenario run."""
+
+    name: str
+    seed: int
+    passed: bool
+    ops: int
+    sim_ms: float
+    faults: Dict[str, int]
+    invariants: List[InvariantResult]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"=== {self.name} (seed {self.seed}): {status}",
+            f"    ops={self.ops} sim_time={self.sim_ms:.3f}ms",
+        ]
+        active = [f"{key}={value}" for key, value in sorted(self.faults.items()) if value]
+        lines.append("    faults: " + (" ".join(active) if active else "none"))
+        for result in self.invariants:
+            lines.append("    " + result.render())
+        for note in self.notes:
+            lines.append("    note: " + note)
+        return "\n".join(lines)
+
+
+def _finish(name, seed, sim, injector, ops, invariants, notes=()) -> ScenarioReport:
+    return ScenarioReport(
+        name=name,
+        seed=seed,
+        passed=all(result.ok for result in invariants),
+        ops=ops,
+        sim_ms=sim.now / MS,
+        faults=injector.summary(),
+        invariants=list(invariants),
+        notes=list(notes),
+    )
+
+
+def _exercised(injector: FaultInjector, *keys: str) -> InvariantResult:
+    """The plan actually fired — scenarios must not pass vacuously."""
+    detail = " ".join(f"{key}={injector.counters.get(key, 0)}" for key in keys)
+    total = sum(injector.counters.get(key, 0) for key in keys)
+    return InvariantResult("fault-exercised", total > 0, detail)
+
+
+# -- gWRITE-stream scenarios (drop / partition / stall) ----------------------------
+
+
+def _gwrite_scenario(
+    name: str,
+    seed: int,
+    plan: FaultPlan,
+    exercised: Sequence[str],
+    n_ops: int = 50,
+    pace_ns: int = 0,
+    deadline_ms: int = 5_000,
+) -> ScenarioReport:
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    region_size = 1 << 14
+    group = HyperLoopGroup(
+        cluster[0], cluster.hosts[1:4], region_size=region_size, rounds=16, name=name
+    )
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    rng = sim.rng("chaos-ops")
+    slot = 256
+    ops = []
+    for _ in range(n_ops):
+        offset = rng.randrange(region_size // slot) * slot
+        size = rng.randrange(16, slot)
+        ops.append((offset, bytes([rng.randrange(1, 256)]) * size))
+
+    model = bytearray(region_size)
+    acked: Dict[int, bytes] = {}
+    done: List[bool] = []
+
+    def body(task):
+        for offset, data in ops:
+            group.write_local(offset, data)
+            model[offset : offset + len(data)] = data
+            yield from group.gwrite(task, offset, len(data))
+            acked[offset] = data
+            injector.notify_op()
+            if pace_ns:
+                yield from task.sleep(pace_ns)
+        done.append(True)
+
+    cluster[0].os.spawn(body, name=f"{name}.writer")
+    run_until(sim, lambda: bool(done), deadline_ms=deadline_ms)
+    sim.run(until=sim.now + 2 * MS)  # drain stragglers (duplicates, late acks)
+
+    invariants = [
+        _exercised(injector, *exercised),
+        check_acked_writes(group, acked),
+        check_model_match(group, model),
+        check_replicas_identical(group),
+        check_no_errors(group),
+    ]
+    return _finish(name, seed, sim, injector, len(ops), invariants)
+
+
+def _scenario_drop(seed: int) -> ScenarioReport:
+    plan = FaultPlan(label="drop").add("drop", probability=0.03)
+    return _gwrite_scenario("drop", seed, plan, ["drop"])
+
+
+def _scenario_partition(seed: int) -> ScenarioReport:
+    plan = (
+        FaultPlan(label="partition")
+        .add("partition", pair=("host1", "host2"), at_ms=1.0)
+        .add("heal", pair=("host1", "host2"), at_ms=4.0)
+    )
+    return _gwrite_scenario(
+        "partition",
+        seed,
+        plan,
+        ["partition", "heal", "partition_drop"],
+        n_ops=40,
+        pace_ns=100_000,
+    )
+
+
+def _scenario_stall(seed: int) -> ScenarioReport:
+    plan = (
+        FaultPlan(label="stall")
+        .add("nic_stall", target="host2", at_ms=0.5)
+        .add("nic_resume", target="host2", at_ms=2.0)
+    )
+    return _gwrite_scenario(
+        "stall", seed, plan, ["nic_stall", "nic_resume"], n_ops=40, pace_ns=50_000
+    )
+
+
+# -- mixed-primitive lossy scenario ------------------------------------------------
+
+
+def _scenario_lossy(seed: int) -> ScenarioReport:
+    """Corruption, duplication, reordering-by-delay and a trickle of
+    drops under all three primitives at once (the chaos-consistency
+    generator, now on a lossy wire)."""
+    name = "lossy"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    region_size = 1 << 14
+    group = HyperLoopGroup(
+        cluster[0], cluster.hosts[1:4], region_size=region_size, rounds=16, name=name
+    )
+    plan = (
+        FaultPlan(label=name)
+        .add("drop", probability=0.01)
+        .add("corrupt", probability=0.01)
+        .add("duplicate", probability=0.02, duplicates=1)
+        .add("delay", probability=0.05, extra_delay_ns=2_000)
+    )
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    model = bytearray(region_size)
+    n_workers = 2
+    ops_per_worker = 18
+    rng = sim.rng("chaos-ops")
+    slab = region_size // (n_workers + 1)
+
+    def make_plan(worker):
+        base = slab * worker
+        ops = []
+        phase = 0
+        for _ in range(ops_per_worker):
+            kind = rng.choice(["gwrite", "gwrite", "gmemcpy", "gcas"])
+            if kind == "gwrite":
+                offset = base + rng.randrange(0, slab // 2)
+                size = rng.randrange(1, 300)
+                ops.append(("gwrite", offset, bytes([rng.randrange(256)]) * size))
+            elif kind == "gmemcpy":
+                src = base + rng.randrange(0, slab // 4)
+                dst = base + slab // 2 + rng.randrange(0, slab // 4)
+                ops.append(("gmemcpy", src, dst, rng.randrange(1, 200)))
+            else:
+                lock = slab * n_workers + worker * 8
+                ops.append(("gcas", lock, phase, 1 - phase))
+                phase = 1 - phase
+        return ops
+
+    plans = [make_plan(worker) for worker in range(n_workers)]
+    finished: List[int] = []
+    cas_mismatches: List[str] = []
+
+    def worker_body(worker):
+        ops = plans[worker]
+
+        def body(task):
+            for op in ops:
+                if op[0] == "gwrite":
+                    _, offset, data = op
+                    group.write_local(offset, data)
+                    model[offset : offset + len(data)] = data
+                    yield from group.gwrite(task, offset, len(data))
+                elif op[0] == "gmemcpy":
+                    _, src, dst, size = op
+                    model[dst : dst + size] = model[src : src + size]
+                    yield from group.gmemcpy(task, src, dst, size)
+                else:
+                    _, lock, compare, swap = op
+                    model[lock : lock + 8] = swap.to_bytes(8, "little")
+                    result = yield from group.gcas(task, lock, compare, swap)
+                    if any(value != compare for value in result):
+                        cas_mismatches.append(f"w{worker}@{lock}: {result}")
+                injector.notify_op()
+            finished.append(worker)
+
+        return body
+
+    for worker in range(n_workers):
+        cluster[0].os.spawn(worker_body(worker), name=f"{name}.w{worker}")
+    run_until(sim, lambda: len(finished) == n_workers, deadline_ms=10_000)
+    sim.run(until=sim.now + 2 * MS)
+
+    invariants = [
+        _exercised(injector, "corrupt", "duplicate", "delay", "drop"),
+        InvariantResult(
+            "gcas-linearizable",
+            not cas_mismatches,
+            cas_mismatches[0] if cas_mismatches else f"{n_workers} lock words",
+        ),
+        check_model_match(group, model),
+        check_replicas_identical(group),
+        check_no_errors(group),
+    ]
+    return _finish(
+        name, seed, sim, injector, n_workers * ops_per_worker, invariants
+    )
+
+
+# -- failover scenarios (NIC crash / host crash -> detect -> repair) ----------------
+
+
+def _failover_scenario(name: str, seed: int, action: str) -> ScenarioReport:
+    """Kill the mid-chain replica during a YCSB-keyed update stream;
+    the heartbeat monitor must suspect it, ChainRepair must splice in
+    the spare, and writes must resume with nothing acked lost."""
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=5, n_cores=4)
+    client = cluster[0]
+    replicas = cluster.hosts[1:4]
+    spare = cluster[4]
+    region_size = 1 << 14
+    generation = [0]
+
+    def factory(members):
+        generation[0] += 1
+        return HyperLoopGroup(
+            client,
+            members,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.g{generation[0]}",
+        )
+
+    group = HyperLoopGroup(
+        client, replicas, region_size=region_size, rounds=16, name=f"{name}.g0"
+    )
+    crash_at_op = 25
+    plan = FaultPlan(label=name).add(action, target="host2", at_op=crash_at_op)
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    monitor = HeartbeatMonitor(
+        client, replicas, interval=2 * MS, miss_threshold=3, name=f"{name}.hb"
+    )
+    repairer = ChainRepair(client, group, factory)
+
+    # Update stream keyed by YCSB workload A over fixed-size slots.
+    slots = 48
+    slot_bytes = region_size // slots
+    value_bytes = 192
+    workload = YcsbWorkload(WORKLOADS["A"], record_count=slots, value_size=value_bytes, seed=seed)
+    data_rng = sim.rng("failover-data")
+    n_ops = 50
+    ops = []
+    for _ in range(n_ops):
+        op = workload.next_operation()
+        offset = (op.key % slots) * slot_bytes
+        ops.append((offset, bytes([data_rng.randrange(1, 256)]) * value_bytes))
+
+    model = bytearray(region_size)
+    acked: Dict[int, bytes] = {}
+    progress: Dict[str, object] = {
+        "done": False,
+        "repaired": False,
+        "detect_ns": None,
+        "failed_index": None,
+        "reissued": 0,
+    }
+
+    def one_shot(target_group, offset, size):
+        def body(task):
+            yield from target_group.gwrite(task, offset, size)
+
+        return body
+
+    def writer(task):
+        for index, (offset, data) in enumerate(ops):
+            while True:
+                while repairer.paused:
+                    yield from task.sleep(100_000)
+                current = repairer.group
+                current.write_local(offset, data)
+                sub = client.os.spawn(
+                    one_shot(current, offset, len(data)), name=f"{name}.op{index}"
+                )
+                while (
+                    not sub.process.triggered
+                    and repairer.group is current
+                    and not repairer.paused
+                ):
+                    yield from task.sleep(50_000)
+                if sub.process.triggered:
+                    break
+                # The chain died under this op: it was never acked, so
+                # replay it on the repaired group (the abandoned probe
+                # task stays parked on the dead chain's ack event).
+                progress["reissued"] += 1
+            model[offset : offset + len(data)] = data
+            acked[offset] = data
+            injector.notify_op()
+        progress["done"] = True
+
+    def detector(task):
+        index = yield from monitor.wait_for_suspicion(task)
+        progress["detect_ns"] = sim.now
+        progress["failed_index"] = index
+        monitor.stop_beats(index)
+        yield from repairer.repair(
+            task, index, spare, copy_from=0 if index != 0 else 1
+        )
+        progress["repaired"] = True
+
+    client.os.spawn(writer, name=f"{name}.writer")
+    client.os.spawn(detector, name=f"{name}.detector")
+    run_until(
+        sim,
+        lambda: progress["done"] and progress["repaired"],
+        deadline_ms=5_000,
+    )
+    sim.run(until=sim.now + 5 * MS)  # quiesce: drain the repaired chain
+
+    final = repairer.group
+    crash_ns = injector.fired[0][0] if injector.fired else 0
+    invariants = [
+        _exercised(injector, action),
+        InvariantResult(
+            "failed-replica-detected",
+            progress["failed_index"] == 1,
+            f"suspected index {progress['failed_index']}",
+        ),
+        check_suspicion_bound(monitor, crash_ns, progress["detect_ns"]),
+        InvariantResult(
+            "repair-completed",
+            repairer.repairs == 1 and final is not group,
+            f"repairs={repairer.repairs} membership="
+            + ",".join(host.name for host in final.replicas),
+        ),
+        check_acked_writes(final, acked),
+        check_model_match(final, model),
+        check_replicas_identical(final),
+        check_no_errors(final),
+    ]
+    notes = [f"writes re-issued after failure: {progress['reissued']}"]
+    return _finish(name, seed, sim, injector, n_ops, invariants, notes)
+
+
+def _scenario_nic_crash(seed: int) -> ScenarioReport:
+    return _failover_scenario("nic-crash", seed, "nic_crash")
+
+
+def _scenario_host_crash(seed: int) -> ScenarioReport:
+    return _failover_scenario("host-crash", seed, "host_crash")
+
+
+# -- power-failure durability scenario ---------------------------------------------
+
+
+def _scenario_power_failure(seed: int) -> ScenarioReport:
+    """Replicated KV store loses power on a replica after the last
+    commit; its durable WAL + checkpoint must reconstruct every
+    committed operation (gFLUSH closed each durability window)."""
+    name = "power-failure"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    region_size = 1 << 15
+    group = HyperLoopGroup(
+        cluster[0], cluster.hosts[1:4], region_size=region_size, rounds=16, name=name
+    )
+    n_ops = 24
+    plan = FaultPlan(label=name).add(
+        "host_power_failure", target="host2", at_op=n_ops
+    )
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    store = ReplicatedKVStore(group, start_sync_tasks=False, name=f"{name}.kv")
+    committed: Dict[bytes, bytes] = {}
+    value_rng = sim.rng("pf-values")
+    done: List[bool] = []
+
+    def body(task):
+        for index in range(n_ops):
+            key = f"key{index:03d}".encode()
+            if index % 5 == 4 and index >= 2:
+                victim = f"key{index - 2:03d}".encode()
+                yield from store.delete(task, victim)
+                committed.pop(victim, None)
+            value = bytes([value_rng.randrange(1, 256)]) * 64
+            yield from store.put(task, key, value)
+            committed[key] = value
+            if index == n_ops // 2:
+                yield from store.checkpoint(task)
+            injector.notify_op()
+        done.append(True)
+
+    cluster[0].os.spawn(body, name=f"{name}.writer")
+    run_until(sim, lambda: bool(done), deadline_ms=5_000)
+
+    invariants = [
+        _exercised(injector, "host_power_failure"),
+        check_wal_recovery(store, 1, committed, name="wal-recovery-failed-replica"),
+        check_wal_recovery(store, 0, committed, name="wal-recovery-survivor"),
+        check_replicas_identical(group),
+        check_no_errors(group),
+    ]
+    notes = [f"committed keys at failure: {len(committed)}"]
+    return _finish(name, seed, sim, injector, n_ops, invariants, notes)
+
+
+# -- registry and matrix ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Scenario:
+    run: Callable[[int], ScenarioReport]
+    description: str
+
+
+SCENARIOS: Dict[str, _Scenario] = {
+    "drop": _Scenario(_scenario_drop, "3% message loss under a gWRITE stream"),
+    "lossy": _Scenario(
+        _scenario_lossy, "corrupt+duplicate+delay+drop under all three primitives"
+    ),
+    "partition": _Scenario(
+        _scenario_partition, "3ms bidirectional mid-chain partition, then heal"
+    ),
+    "stall": _Scenario(_scenario_stall, "mid-chain NIC stalls 1.5ms, then resumes"),
+    "nic-crash": _Scenario(
+        _scenario_nic_crash, "mid-chain NIC crash -> heartbeat -> chain repair"
+    ),
+    "host-crash": _Scenario(
+        _scenario_host_crash, "mid-chain host crash -> heartbeat -> chain repair"
+    ),
+    "power-failure": _Scenario(
+        _scenario_power_failure, "replica power loss; WAL recovery from durable NVM"
+    ),
+}
+
+
+def run_scenario(name: str, seed: int) -> ScenarioReport:
+    """Run one registered scenario with the given seed."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; have {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    return scenario.run(seed)
+
+
+def run_matrix(seed: int, names: Optional[Sequence[str]] = None) -> List[ScenarioReport]:
+    """Run the full matrix (or a subset) with one seed."""
+    return [run_scenario(name, seed) for name in (names or list(SCENARIOS))]
+
+
+def render_matrix(reports: Sequence[ScenarioReport]) -> str:
+    """Deterministic text report for a matrix run."""
+    passed = sum(1 for report in reports if report.passed)
+    lines = [f"chaos matrix: {passed}/{len(reports)} scenarios passed", ""]
+    for report in reports:
+        lines.append(report.render())
+        lines.append("")
+    lines.append(
+        "RESULT: PASS" if passed == len(reports) else "RESULT: FAIL"
+    )
+    return "\n".join(lines)

@@ -38,11 +38,41 @@ class Host:
         from ..rdma.verbs import RdmaDevice
 
         self.dev = RdmaDevice(self.nic, hyperloop=hyperloop_driver)
+        self.down = False
 
     def power_failure(self) -> None:
-        """Lose power: NIC cache dropped, DRAM zeroed, NVM survives."""
+        """Lose power: NIC cache dropped, DRAM zeroed, NVM survives.
+
+        Order matters: the NIC's volatile write cache must revert its
+        un-flushed windows *before* DRAM is zeroed, so NVM bytes whose
+        durability window was still open land back on their last
+        durable contents — exactly the loss gFLUSH exists to prevent
+        (DESIGN.md, durability model).
+        """
         self.nic.power_failure()
         self.memory.power_failure()
+
+    def crash(self) -> None:
+        """Whole-host failure: power loss plus a dark NIC.
+
+        Composes :meth:`Rnic.crash` (engines halt, volatile WQE/QP
+        caches and un-flushed write windows lost, inbound traffic
+        discarded) with :meth:`MemorySystem.power_failure` (DRAM
+        zeroed, NVM intact). CPU tasks of the crashed host keep their
+        sim processes but can no longer reach the wire, so heartbeats
+        stop at the NIC — which is what failure detectors observe.
+        """
+        self.down = True
+        self.nic.crash()
+        self.memory.power_failure()
+
+    def restart(self) -> None:
+        """Bring a crashed host back: NVM contents are whatever
+        survived the crash, DRAM is zeroed, the NIC is up but every
+        pre-crash ring holds zeroed (invalid) WQEs. Software rebuilds
+        its groups/QPs on top, as §5.1's recovery flow does."""
+        self.down = False
+        self.nic.restart()
 
     def __repr__(self) -> str:
         return f"<Host {self.name} cores={len(self.os.cores)}>"

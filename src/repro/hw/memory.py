@@ -231,6 +231,8 @@ class MemorySystem:
         """
         self._bytes[: self.dram_size] = bytes(self.dram_size)
         self.power_failures += 1
+        if TRACER.enabled:
+            TRACER.count("fault.memory.power_failures")
 
 
 

@@ -22,7 +22,7 @@ from typing import Any, Callable, Dict, Optional
 from ..obs.trace import TRACER
 from ..sim import Simulator, TokenBucket
 
-__all__ = ["Fabric", "Port", "GBPS", "wire_bytes"]
+__all__ = ["Fabric", "Port", "FaultVerdict", "GBPS", "wire_bytes"]
 
 GBPS = 0.125
 """Bytes per nanosecond for one gigabit per second."""
@@ -46,6 +46,30 @@ class _Delivery:
     dst: str
     payload: Any
     nbytes: int
+
+
+@dataclass
+class FaultVerdict:
+    """What a fault filter wants done to one wire message.
+
+    The fabric executes the verdict mechanically; policy (who, when,
+    with what probability) lives in :mod:`repro.faults`. ``corrupt``
+    models payload corruption the way a RoCE receiver experiences it:
+    the message pays full wire cost, then fails the ICRC check at the
+    destination and is silently discarded — the transport's
+    retransmission recovers it. ``duplicates`` delivers that many
+    extra copies after the original (switch-level duplication).
+    """
+
+    drop: bool = False
+    corrupt: bool = False
+    extra_delay_ns: int = 0
+    duplicates: int = 0
+
+
+# Spacing between duplicate copies of one message (switch egress
+# re-serialization of the duplicated frame).
+_DUPLICATE_GAP_NS = 500
 
 
 class Port:
@@ -81,6 +105,35 @@ class Fabric:
         self.sim = sim
         self.propagation_ns = propagation_ns
         self.ports: Dict[str, Port] = {}
+        # Fault injection. ``lossy`` is sticky: once a filter has been
+        # installed the RC layer keeps arming retransmission timers for
+        # the rest of the run, so clearing a filter mid-flight cannot
+        # strand unacked messages.
+        self._fault_filter: Optional[Callable[[str, str, Any, int], Optional[FaultVerdict]]] = None
+        self.lossy = False
+        self.dropped_messages = 0
+        self.corrupted_messages = 0
+        self.duplicated_messages = 0
+        self.delayed_messages = 0
+
+    # -- fault injection -------------------------------------------------------
+
+    def install_fault_filter(
+        self, filter_: Callable[[str, str, Any, int], Optional[FaultVerdict]]
+    ) -> None:
+        """Install a fault filter consulted for every non-loopback send.
+
+        The filter receives ``(src, dst, payload, nbytes)`` and returns
+        a :class:`FaultVerdict` (or ``None`` for normal delivery).
+        Installing any filter marks the fabric lossy, which arms the
+        NICs' RC retransmission path (see :mod:`repro.hw.nic`).
+        """
+        self._fault_filter = filter_
+        self.lossy = True
+
+    def clear_fault_filter(self) -> None:
+        """Remove the filter. The fabric stays in lossy mode."""
+        self._fault_filter = None
 
     def attach(self, name: str, gbps: float = 56.0) -> Port:
         """Create a port for host ``name`` at ``gbps`` line rate."""
@@ -110,12 +163,82 @@ class Fabric:
         t_sent = self.sim.now
         if src == dst:
             # On-adapter loopback: just the NIC-internal turnaround.
+            # Loopback traffic never touches the wire, so the fault
+            # filter does not apply.
             self.sim.call_in(100, self._deliver, dst_port, src, payload, t_sent)
             return
-        done = src_port.egress.transmit(
-            wire_bytes(nbytes), extra_delay=self.propagation_ns
-        )
-        done.add_callback(lambda _evt: self._deliver(dst_port, src, payload, t_sent))
+        extra_delay = self.propagation_ns
+        deliver = self._deliver
+        if self._fault_filter is not None:
+            verdict = self._fault_filter(src, dst, payload, nbytes)
+            if verdict is not None:
+                if verdict.drop:
+                    self.dropped_messages += 1
+                    self._note_fault(t_sent, "drop", src, dst)
+                    return
+                if verdict.extra_delay_ns:
+                    self.delayed_messages += 1
+                    extra_delay += verdict.extra_delay_ns
+                    self._note_fault(
+                        t_sent, "delay", src, dst, {"extra_ns": verdict.extra_delay_ns}
+                    )
+                if verdict.corrupt:
+                    self.corrupted_messages += 1
+                    deliver = self._deliver_corrupt
+                    self._note_fault(t_sent, "corrupt", src, dst)
+                elif verdict.duplicates > 0:
+                    copies = verdict.duplicates
+                    self.duplicated_messages += copies
+                    self._note_fault(t_sent, "duplicate", src, dst, {"copies": copies})
+
+                    def deliver(port, from_, msg, sent, _inner=self._deliver, _n=copies):
+                        _inner(port, from_, msg, sent)
+                        for copy in range(1, _n + 1):
+                            self.sim.call_in(
+                                copy * _DUPLICATE_GAP_NS, _inner, port, from_, msg, sent
+                            )
+
+        done = src_port.egress.transmit(wire_bytes(nbytes), extra_delay=extra_delay)
+        done.add_callback(lambda _evt: deliver(dst_port, src, payload, t_sent))
+
+    def _note_fault(
+        self,
+        t_sent: int,
+        kind: str,
+        src: str,
+        dst: str,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record an injected fault as an obs instant event + counter."""
+        if TRACER.enabled:
+            payload_args = {"src": src, "dst": dst}
+            if args:
+                payload_args.update(args)
+            TRACER.record(
+                t_sent,
+                "i",
+                "fault",
+                f"fabric.{kind}",
+                pid="fabric",
+                tid=f"{src}->{dst}",
+                args=payload_args,
+            )
+            TRACER.count(f"fault.fabric.{kind}")
+
+    def _deliver_corrupt(self, port: Port, src: str, payload: Any, t_sent: int = 0) -> None:
+        """A corrupted message reaches the port and fails the ICRC
+        check: wire cost was paid, nothing is delivered."""
+        if TRACER.enabled:
+            TRACER.record(
+                t_sent,
+                "X",
+                "fault",
+                f"icrc_drop {src}->{port.name}",
+                pid="fabric",
+                tid=port.name,
+                dur=self.sim.now - t_sent,
+            )
+            TRACER.count("fault.fabric.icrc_drops")
 
     def _deliver(self, port: Port, src: str, payload: Any, t_sent: int = 0) -> None:
         port.rx_messages += 1

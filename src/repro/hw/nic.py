@@ -40,6 +40,7 @@ from .wqe import (
     FLAG_SGL,
     Opcode,
     WC_REMOTE_ACCESS_ERROR,
+    WC_RETRY_EXCEEDED,
     WC_SUCCESS,
     Wqe,
     WQE_SIZE,
@@ -104,6 +105,14 @@ class NicParams:
     the number of active write-QPs')."""
     qp_cache_miss_ns: int = 800
     """Context fetch penalty per QP-cache miss."""
+    retransmit_timeout_ns: int = 500_000
+    """RC transport retry timer: how long an unacked request waits
+    before being retransmitted. Armed only on a lossy fabric (a fault
+    filter has been installed) — lossless runs never schedule it."""
+    retransmit_limit: int = 64
+    """Retries before the requester gives up and completes the WQE
+    with ``WC_RETRY_EXCEEDED`` (ibv retry_cnt, scaled up: the
+    simulator models partitions that heal)."""
 
 
 @dataclass
@@ -220,6 +229,10 @@ class _PendingSend:
     done: bool = False
     status: int = WC_SUCCESS
     resp_payload: bytes = b""
+    # Retransmission state (consulted only on a lossy fabric).
+    msg: Optional["_WireMsg"] = None
+    nbytes: int = 0
+    retries: int = 0
 
 
 class NicQp:
@@ -261,6 +274,12 @@ class NicQp:
         self._next_seq = 0
         self._pending: List[_PendingSend] = []
         self._engine_started = False
+        # RC transport reliability (exercised only on a lossy fabric):
+        # requests must execute in posted order exactly once, so the
+        # responder side tracks the next expected sequence number and
+        # keeps recent replies for duplicate-request re-ACKs.
+        self._rx_next_seq = 0
+        self._reply_cache: "OrderedDict[int, Tuple[_WireMsg, int]]" = OrderedDict()
 
     # -- driver-facing ---------------------------------------------------------
 
@@ -375,6 +394,9 @@ class NicQp:
         sim = self.nic.sim
         params = self.nic.params
         while True:
+            if self.nic.halted:
+                yield self.nic.halt_event()
+                continue
             if self.send_consumer >= self.send_producer:
                 yield self._await_kick()
                 continue
@@ -436,14 +458,17 @@ class NicQp:
 
     def _launch(self, wqe: Wqe) -> None:
         """Transmit one non-WAIT WQE; completion arrives later in order."""
-        seq = self._next_seq
-        self._next_seq += 1
-        pending = _PendingSend(wqe=wqe, seq=seq)
+        pending = _PendingSend(wqe=wqe, seq=-1)
         self._pending.append(pending)
         if wqe.opcode == Opcode.NOP:
+            # Never touches the wire: no sequence number, or the
+            # responder's in-order check would see a gap.
             pending.done = True
             self._drain_pending()
             return
+        seq = self._next_seq
+        self._next_seq += 1
+        pending.seq = seq
         remote_host, remote_qpn = self.remote
         if wqe.opcode == Opcode.SEND:
             payload = self._gather(wqe)
@@ -488,7 +513,50 @@ class NicQp:
             nbytes = 8
         else:
             raise ValueError(f"send engine cannot execute {wqe!r}")
+        if self.nic.fabric.lossy:
+            pending.msg = msg
+            pending.nbytes = nbytes
+            self.nic.sim.call_in(
+                self.nic.params.retransmit_timeout_ns, self._retransmit_check, seq
+            )
         self.nic.transmit(remote_host, msg, nbytes)
+
+    def _retransmit_check(self, seq: int) -> None:
+        """RC retry timer: re-send an unacked request or give up."""
+        pending = None
+        for candidate in self._pending:
+            if candidate.seq == seq:
+                pending = candidate
+                break
+        if pending is None or pending.done:
+            return
+        nic = self.nic
+        if nic.halted:
+            # A stalled/crashed NIC retransmits nothing; re-check after
+            # another period so a resumed NIC picks the retry back up.
+            nic.sim.call_in(nic.params.retransmit_timeout_ns, self._retransmit_check, seq)
+            return
+        if pending.retries >= nic.params.retransmit_limit:
+            pending.done = True
+            pending.status = WC_RETRY_EXCEEDED
+            if TRACER.enabled:
+                TRACER.count("nic.retry_exceeded")
+            self._drain_pending()
+            return
+        pending.retries += 1
+        if TRACER.enabled:
+            TRACER.record(
+                nic.sim.now,
+                "i",
+                "fault",
+                "retransmit",
+                pid=nic.name,
+                tid=f"qp{self.qpn}/tx",
+                args={"seq": seq, "retry": pending.retries},
+            )
+            TRACER.count("nic.retransmits")
+        nic.sim.call_in(nic.params.retransmit_timeout_ns, self._retransmit_check, seq)
+        nic.transmit(self.remote[0], pending.msg, pending.nbytes)
 
     def _on_response(self, msg: _WireMsg) -> None:
         """ACK/READ-response/CAS-response arrived for seq ``msg.seq``."""
@@ -528,9 +596,29 @@ class NicQp:
         params = self.nic.params
         while True:
             msg: _WireMsg = yield self.ingress.get()
+            if self.nic.halted:
+                # Stalled NIC: hold the message until resume (crashed
+                # NICs never enqueue — _on_wire drops at the port).
+                yield self.nic.halt_event()
             if msg.kind in ("ack", "resp"):
                 self._on_response(msg)
                 continue
+            if msg.seq != self._rx_next_seq:
+                # RC in-order exactly-once execution. A replayed seq is
+                # a retransmit of an executed request whose reply was
+                # lost: re-send the cached reply without re-executing.
+                # A future seq is a gap the requester will retransmit
+                # into (go-back-N); drop it silently.
+                if msg.seq < self._rx_next_seq:
+                    cached = self._reply_cache.get(msg.seq)
+                    if cached is not None:
+                        self.nic.transmit(self.remote[0], cached[0], cached[1])
+                    if TRACER.enabled:
+                        TRACER.count("nic.rx_duplicates")
+                elif TRACER.enabled:
+                    TRACER.count("nic.rx_out_of_order")
+                continue
+            self._rx_next_seq += 1
             rx_from = sim.now
             yield sim.timeout(
                 params.rx_process_ns + self.nic.qp_context_penalty(self.qpn)
@@ -562,8 +650,19 @@ class NicQp:
             else:
                 raise ValueError(f"unknown wire message kind {msg.kind!r}")
 
+    # How many executed-request replies to keep for duplicate re-ACKs.
+    # Bounds responder memory; anything older than this many requests
+    # cannot be retransmitted (the requester would have retry-exceeded
+    # long before).
+    _REPLY_CACHE_ENTRIES = 256
+
     def _reply(self, msg: _WireMsg, reply: _WireMsg, nbytes: int) -> None:
         remote_host, _ = self.remote
+        if self.nic.fabric.lossy:
+            cache = self._reply_cache
+            cache[msg.seq] = (reply, nbytes)
+            while len(cache) > self._REPLY_CACHE_ENTRIES:
+                cache.popitem(last=False)
         self.nic.transmit(remote_host, reply, nbytes)
 
     def _rx_write(self, msg: _WireMsg, imm: bool) -> bool:
@@ -695,6 +794,14 @@ class Rnic:
         self._drain_scheduled = False
         self._hot_qps: "OrderedDict[int, None]" = OrderedDict()
         self.qp_cache_misses = 0
+        # Fault state: ``halted`` pauses the engines (stall or crash),
+        # ``crashed`` additionally drops inbound wire traffic and marks
+        # volatile state lost. Engines check ``halted`` once per lap.
+        self.halted = False
+        self.crashed = False
+        self._resume_event: Optional[Event] = None
+        self._halt_name = name + ".halt"
+        self.rx_dropped_while_crashed = 0
 
     # -- object creation -----------------------------------------------------------
 
@@ -798,12 +905,89 @@ class Rnic:
         self.fabric.send(self.name, remote_host, msg, nbytes)
 
     def _on_wire(self, src: str, msg: _WireMsg) -> None:
+        if self.crashed:
+            # A crashed NIC is dark: inbound traffic disappears. The
+            # sender's retransmission (or failure detection above it)
+            # deals with the silence.
+            self.rx_dropped_while_crashed += 1
+            if TRACER.enabled:
+                TRACER.count("nic.rx_dropped_crashed")
+            return
         qp = self.qps.get(msg.dst_qpn)
         if qp is None:
             raise RuntimeError(f"{self.name}: message for unknown QP {msg.dst_qpn}")
         qp.ingress.put(msg)
 
     # -- failure injection ---------------------------------------------------------------
+
+    def halt_event(self) -> Event:
+        """Event firing at the next :meth:`resume` (engine halt gate)."""
+        if self._resume_event is None or self._resume_event.triggered:
+            self._resume_event = Event(self.sim, self._halt_name)
+        return self._resume_event
+
+    def stall(self) -> None:
+        """Pause both engines without losing state (firmware hiccup).
+
+        Inbound messages queue in the per-QP ingress stores and WQE
+        rings keep their contents; :meth:`resume` continues exactly
+        where the NIC stopped.
+        """
+        self.halted = True
+        if TRACER.enabled:
+            TRACER.record(self.sim.now, "i", "fault", "nic.stall", pid=self.name)
+            TRACER.count("fault.nic.stalls")
+
+    def resume(self) -> None:
+        """Resume a stalled NIC; a no-op unless halted."""
+        if not self.halted:
+            return
+        self.halted = False
+        self.crashed = False
+        if TRACER.enabled:
+            TRACER.record(self.sim.now, "i", "fault", "nic.resume", pid=self.name)
+            TRACER.count("fault.nic.resumes")
+        if self._resume_event is not None and not self._resume_event.triggered:
+            self._resume_event.succeed()
+        for qp in self.qps.values():
+            qp.kick()
+
+    def crash(self) -> int:
+        """Crash the NIC: engines halt, all volatile state is lost.
+
+        Drops the volatile write cache (un-flushed inbound WRITEs
+        revert to their last durable bytes), the on-NIC QP context
+        cache, every queued-but-unprocessed inbound message, and all
+        requester-side in-flight request state. Inbound wire traffic
+        is discarded until :meth:`restart`. Returns the number of
+        write-cache entries lost.
+        """
+        self.halted = True
+        self.crashed = True
+        lost = self.cache.drop()
+        self._hot_qps.clear()
+        for qp in self.qps.values():
+            qp.ingress.clear()
+            qp._pending.clear()
+            qp._reply_cache.clear()
+        if TRACER.enabled:
+            TRACER.record(
+                self.sim.now, "i", "fault", "nic.crash", pid=self.name,
+                args={"cache_entries_lost": lost},
+            )
+            TRACER.count("fault.nic.crashes")
+        return lost
+
+    def restart(self) -> None:
+        """Bring a crashed NIC back up (see :meth:`Host.restart`).
+
+        Volatile state is already gone; rings live in host memory, so
+        what the engines see next is whatever survived there. QP
+        connection state is host-driver state in this model and is
+        retained; real deployments rebuild QPs, which maps to building
+        a fresh group over the restarted host.
+        """
+        self.resume()
 
     def power_failure(self) -> int:
         """Drop the volatile cache (with the host losing power).

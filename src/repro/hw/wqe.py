@@ -44,6 +44,7 @@ __all__ = [
     "WC_SUCCESS",
     "WC_REMOTE_ACCESS_ERROR",
     "WC_REMOTE_OP_ERROR",
+    "WC_RETRY_EXCEEDED",
     "decode_cached",
 ]
 
@@ -60,6 +61,10 @@ table at execution time, like inline SGE lists on real adapters)."""
 WC_SUCCESS = 0
 WC_REMOTE_ACCESS_ERROR = 10
 WC_REMOTE_OP_ERROR = 11
+WC_RETRY_EXCEEDED = 12
+"""Transport retry counter exhausted (IBV_WC_RETRY_EXC_ERR): the
+responder never acknowledged despite retransmission — a partition that
+outlasted the retry budget, or a crashed peer NIC."""
 
 
 class Opcode:

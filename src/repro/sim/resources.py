@@ -116,6 +116,14 @@ class Store:
             return self._items.popleft()
         return None
 
+    def clear(self) -> int:
+        """Discard all queued items (fault injection: a crashed
+        consumer loses its backlog). Blocked getters stay blocked.
+        Returns the number of items dropped."""
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
     def peek(self) -> Optional[Any]:
         """Return the head item without removing it (``None`` if empty)."""
         return self._items[0] if self._items else None

@@ -29,6 +29,7 @@ from ..hw.cpu import Task
 from ..hw.host import Host
 from ..hw.nic import AccessFlags
 from ..hw.wqe import FLAG_VALID, Opcode, Wqe
+from ..obs.trace import TRACER
 from ..sim import MS
 
 __all__ = ["HeartbeatMonitor", "ChainRepair"]
@@ -82,6 +83,11 @@ class HeartbeatMonitor:
                 if self._stopped[index]:
                     return
                 host = self.replicas[index]
+                if host.down or host.nic.halted:
+                    # A crashed/stalled replica can't reach the wire;
+                    # posting would only overflow the send ring. Keep
+                    # the task alive so beats resume after a restart.
+                    continue
                 host.nic.host_write(staging.addr, struct.pack("<Q", task.sim.now))
                 yield from task.compute(qp.post_cost(1))
                 qp.post_send(
@@ -159,6 +165,17 @@ class ChainRepair:
         ends identical.
         """
         self.paused = True
+        started = task.sim.now
+        if TRACER.enabled:
+            TRACER.record(
+                started,
+                "B",
+                "fault",
+                "chain_repair",
+                pid="recovery",
+                tid=task.name,
+                args={"failed": failed_index, "replacement": replacement.name},
+            )
         survivors = [
             host
             for index, host in enumerate(self.group.replicas)
@@ -176,7 +193,9 @@ class ChainRepair:
             piece = yield from self.group.pread(task, source, offset, size)
             image.extend(piece)
         # 2. New membership: survivors keep their order, the
-        #    replacement joins at the tail.
+        #    replacement joins at the tail. The old group is retired —
+        #    its chains are wired to the failed member's QPs.
+        self.group.stop()
         members = survivors + [replacement]
         new_group = self.group_factory(members)
         if new_group.region_size != region_size:
@@ -190,4 +209,15 @@ class ChainRepair:
         self.group = new_group
         self.paused = False
         self.repairs += 1
+        if TRACER.enabled:
+            TRACER.record(
+                task.sim.now,
+                "E",
+                "fault",
+                "chain_repair",
+                pid="recovery",
+                tid=task.name,
+                args={"catch_up_bytes": region_size},
+            )
+            TRACER.count("recovery.repairs")
         return new_group
