@@ -27,25 +27,52 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import importlib
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from .experiments import run_experiment
 from .harness import LatencyRecorder, LatencyStats, merge_stats
 
 __all__ = [
+    "RUNNERS",
     "RunSpec",
     "RunResult",
     "derive_seed",
     "make_specs",
+    "resolve_runner",
     "run_serial",
     "run_parallel",
     "merge_run_stats",
     "normalize_result",
     "default_workers",
 ]
+
+
+RUNNERS: Dict[str, str] = {
+    "experiment": "repro.bench.experiments:run_experiment",
+    "chaos": "repro.faults.sweep:run_chaos_point",
+}
+"""Named run targets, as ``module:callable`` import paths.
+
+A :class:`RunSpec` names its runner rather than holding a callable so
+specs pickle as plain data and worker processes resolve the target by
+import — the pool never ships code, only ``(runner, name, seed,
+params)`` tuples. Every runner has the signature
+``fn(name, seed=..., **params)`` and must return picklable output.
+"""
+
+
+def resolve_runner(runner: str) -> Callable[..., Any]:
+    """Import and return the callable behind a registered runner name."""
+    try:
+        path = RUNNERS[runner]
+    except KeyError:
+        known = ", ".join(sorted(RUNNERS))
+        raise ValueError(f"unknown runner {runner!r} (known: {known})") from None
+    module_name, _, attr = path.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -65,16 +92,21 @@ class RunSpec:
 
     ``params`` is a sorted tuple of ``(key, value)`` pairs rather than
     a dict so specs are hashable, orderable, and structurally
-    comparable.
+    comparable. ``runner`` names the :data:`RUNNERS` entry that
+    executes the spec — benchmark experiments by default, chaos
+    scenario points for fault-plan sweeps.
     """
 
     experiment: str
     seed: int
     params: Tuple[Tuple[str, Any], ...] = ()
+    runner: str = "experiment"
 
     @classmethod
-    def make(cls, experiment: str, seed: int, **params: Any) -> "RunSpec":
-        return cls(experiment, seed, tuple(sorted(params.items())))
+    def make(
+        cls, experiment: str, seed: int, runner: str = "experiment", **params: Any
+    ) -> "RunSpec":
+        return cls(experiment, seed, tuple(sorted(params.items())), runner)
 
     @property
     def kwargs(self) -> Dict[str, Any]:
@@ -145,7 +177,8 @@ def make_specs(
 
 def _execute(spec: RunSpec) -> RunResult:
     """Run one spec in the current process (the pool's map target)."""
-    output = run_experiment(spec.experiment, seed=spec.seed, **spec.kwargs)
+    fn = resolve_runner(spec.runner)
+    output = fn(spec.experiment, seed=spec.seed, **spec.kwargs)
     return RunResult(spec=spec, output=normalize_result(output))
 
 

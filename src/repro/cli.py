@@ -152,6 +152,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export a Chrome-trace JSON of the run (fault events included)",
     )
+    chaos.add_argument(
+        "--sweep",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "chaos sweep: N derived seeds x the compound+generated matrix "
+            "through the parallel pool; byte-identical report for any "
+            "--workers value. On a generated-plan failure the plan is "
+            "shrunk and the replay command printed."
+        ),
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: all cores; 1 = in-process)",
+    )
+    chaos.add_argument(
+        "--replay",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "re-run one failure: scenario:seed, or generated:seed:i0,i1,... "
+            "for a (shrunk) generated plan subset"
+        ),
+    )
+    chaos.add_argument(
+        "--sabotage",
+        default=None,
+        help=(
+            "append a deliberately-broken invariant to generated runs "
+            "(corrupt-fired / drop-fired / any-fault) — a shrinker demo/test "
+            "hook"
+        ),
+    )
 
     return parser
 
@@ -434,8 +470,15 @@ def _cmd_chaos(args) -> int:
 
     if args.list_scenarios:
         rows = [(name, spec.description) for name, spec in SCENARIOS.items()]
+        rows.append(
+            ("generated", "seeded random fault plan (the sweep fuzzer)")
+        )
         print(format_table("Chaos scenarios", ["scenario", "what it injects"], rows))
         return 0
+    if args.replay is not None:
+        return _chaos_replay(args)
+    if args.sweep is not None:
+        return _chaos_sweep(args)
     names = args.scenario
     if names:
         unknown = [name for name in names if name not in SCENARIOS]
@@ -456,6 +499,76 @@ def _cmd_chaos(args) -> int:
         reports = run_matrix(args.seed, names)
     print(render_matrix(reports))
     return 0 if all(report.passed for report in reports) else 1
+
+
+def _chaos_sweep(args) -> int:
+    from .faults import SCENARIOS, SWEEP_SCENARIOS, run_sweep, shrink_failure
+    from .faults.sweep import GENERATED, replay_command, run_generated
+
+    names = args.scenario or list(SWEEP_SCENARIOS)
+    known = set(SCENARIOS) | {GENERATED}
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.sabotage is not None:
+        # Sabotage applies to generated runs only; route around the
+        # pool so the hook stays a plain function argument.
+        from .bench.parallel import RunResult, derive_seed, normalize_result
+        from .faults.sweep import build_report, make_sweep_specs
+
+        specs = make_sweep_specs(args.seed, args.sweep, names)
+        results = []
+        for spec in specs:
+            if spec.experiment == GENERATED:
+                output = run_generated(spec.seed, sabotage=args.sabotage)
+            else:
+                output = SCENARIOS[spec.experiment].run(spec.seed)
+            results.append(
+                RunResult(spec=spec, output=normalize_result(output))
+            )
+        report = build_report(args.seed, args.sweep, names, results)
+    else:
+        report = run_sweep(
+            args.seed, args.sweep, scenarios=names, workers=args.workers
+        )
+    print(report.render())
+    if report.ok:
+        return 0
+    # Shrink every failing generated seed to a minimal replayable plan.
+    for failure in report.failures:
+        if failure["scenario"] != GENERATED:
+            print(
+                f"replay: python -m repro chaos "
+                f"--scenario {failure['scenario']} --seed {failure['seed']}"
+            )
+            continue
+        shrunk = shrink_failure(failure["seed"], sabotage=args.sabotage)
+        if shrunk is None:
+            print(
+                f"seed {failure['seed']}: failure did not reproduce "
+                "standalone (suspect cross-run state)"
+            )
+            continue
+        keep, shrunk_report = shrunk
+        print()
+        print(
+            f"shrunk seed {failure['seed']} to {len(keep)} event(s): "
+            + "; ".join(shrunk_report.notes)
+        )
+        print(
+            "replay: "
+            + replay_command(failure["seed"], keep, sabotage=args.sabotage)
+        )
+    return 1
+
+
+def _chaos_replay(args) -> int:
+    from .faults import run_replay
+
+    report = run_replay(args.replay, sabotage=args.sabotage)
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

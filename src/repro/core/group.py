@@ -167,6 +167,26 @@ class HyperLoopGroup:
         """
         self._stopping = True
 
+    def reattach_client(self) -> None:
+        """Rebuild the client's read path after a client crash/restart.
+
+        A crashed client NIC loses its volatile QP/ring state, so the
+        old :class:`~repro.rdma.reader.RemoteReader` QPs are dead on
+        the client side. The replica regions themselves are retained
+        NIC/memory state, so a fresh reader — new QP pairs on both
+        ends, same replica MRs — restores one-sided pread access for
+        catch-up. Chain QPs are *not* rebuilt here; recovery replaces
+        the group (fresh chains) once the client has caught up, exactly
+        as :class:`~repro.storage.recovery.ChainRepair` does for
+        replica failures.
+        """
+        self._reader = RemoteReader(
+            self.client,
+            self.replicas,
+            self.replica_mrs,
+            f"{self.name}.reattach",
+        )
+
     # -- public operations (drive from a client Task) ---------------------------------
 
     def write_local(self, offset: int, data: bytes) -> None:
@@ -333,19 +353,44 @@ class HyperLoopGroup:
                 if waiter is not None:
                     waiter.succeed(result)
 
+        def drain_send_errors(task: Task) -> Generator:
+            # Lossy fabrics only: the client chain WQEs are posted
+            # non-signaled, so the only CQEs that ever land on the
+            # client send CQ are errors — the NIC's RC retransmission
+            # path reporting WC_RETRY_EXCEEDED after its budget. Surface
+            # them to the op layer; on a clean fabric this queue stays
+            # empty forever and is never polled.
+            for chain in chains:
+                cqes = chain.client_qp.send_cq.poll(64)
+                if cqes:
+                    yield from task.compute(300 * len(cqes))
+                for cqe in cqes:
+                    if not cqe.ok:
+                        self.errors.append(
+                            f"{chain.primitive} send error: {cqe!r}"
+                        )
+
         def body(task: Task) -> Generator:
             while True:
                 if self._stopping:
                     return
+                lossy = self.client.nic.fabric.lossy
+                if lossy:
+                    yield from drain_send_errors(task)
                 pending = [c for c in chains if c.ack_qp.recv_cq.entries]
                 if not pending:
-                    any_ack = self.sim.any_of(
-                        [c.ack_qp.recv_cq.next_event() for c in chains]
-                    )
+                    waits = [c.ack_qp.recv_cq.next_event() for c in chains]
+                    if lossy:
+                        waits.extend(
+                            c.client_qp.send_cq.next_event() for c in chains
+                        )
+                    any_ack = self.sim.any_of(waits)
                     if self.client_mode == "polling":
                         yield from task.poll_wait(any_ack, check_ns=poll_slice)
                     else:
                         yield from task.wait(any_ack)
+                    if lossy:
+                        yield from drain_send_errors(task)
                     pending = [c for c in chains if c.ack_qp.recv_cq.entries]
                 for chain in pending:
                     yield from handle(task, chain)

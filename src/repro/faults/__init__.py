@@ -35,11 +35,21 @@ from .plan import (
 )
 from .invariants import InvariantResult, check_model_match, check_replicas_identical
 from .scenario import (
+    COMPOUND_SCENARIOS,
     SCENARIOS,
     ScenarioReport,
     render_matrix,
     run_matrix,
     run_scenario,
+)
+from .sweep import (
+    SWEEP_SCENARIOS,
+    SweepReport,
+    generate_plan,
+    run_generated,
+    run_replay,
+    run_sweep,
+    shrink_failure,
 )
 
 __all__ = [
@@ -50,9 +60,17 @@ __all__ = [
     "InvariantResult",
     "check_model_match",
     "check_replicas_identical",
+    "COMPOUND_SCENARIOS",
     "SCENARIOS",
     "ScenarioReport",
     "run_scenario",
     "run_matrix",
     "render_matrix",
+    "SWEEP_SCENARIOS",
+    "SweepReport",
+    "generate_plan",
+    "run_generated",
+    "run_replay",
+    "run_sweep",
+    "shrink_failure",
 ]

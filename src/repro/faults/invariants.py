@@ -20,7 +20,7 @@ The invariants come straight from the paper's guarantees:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 __all__ = [
     "InvariantResult",
@@ -30,6 +30,7 @@ __all__ = [
     "check_acked_writes",
     "check_suspicion_bound",
     "check_wal_recovery",
+    "tally_invariants",
 ]
 
 
@@ -149,3 +150,22 @@ def check_wal_recovery(
     if extra:
         parts.append(f"extra={len(extra)} first={extra[0]!r}")
     return InvariantResult(name, False, f"r{replica}: " + ", ".join(parts))
+
+
+def tally_invariants(
+    runs: Iterable[Sequence[Mapping]],
+) -> Dict[str, Tuple[int, int]]:
+    """Fold many runs' invariant lists into ``{name: (passed, failed)}``.
+
+    Accepts the normalized (dict) form sweep results travel in —
+    each run is a sequence of ``{"name": ..., "ok": ...}`` mappings —
+    and preserves first-seen order, so the aggregate renders
+    deterministically regardless of which worker produced which run.
+    """
+    tally: Dict[str, Tuple[int, int]] = {}
+    for run in runs:
+        for result in run:
+            name, ok = result["name"], result["ok"]
+            passed, failed = tally.get(name, (0, 0))
+            tally[name] = (passed + (1 if ok else 0), failed + (0 if ok else 1))
+    return tally

@@ -14,6 +14,12 @@ Triggers
 * ``at_op`` — fire once when the workload reports that many completed
   operations via :meth:`FaultInjector.notify_op` (the "at-op-count"
   trigger; the scenario runner calls it after every acked op).
+* ``at_phase`` — fire once when the scenario reports entering a named
+  control-path phase via :meth:`FaultInjector.notify_phase` (e.g.
+  ``"repair"`` when :class:`~repro.storage.recovery.ChainRepair`
+  starts), ``phase_delay_ms`` after the notification. This is how
+  compound scenarios land a fault *inside* a recovery window whose
+  absolute time depends on detection latency.
 * ``probability`` — message rules only: each matching wire message is
   hit with this probability, drawn from the named RNG stream.
 
@@ -27,7 +33,7 @@ unset). Node actions (``partition``, ``heal``, ``nic_stall``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..hw.host import Host
 from ..hw.network import Fabric, FaultVerdict
@@ -66,6 +72,10 @@ class FaultEvent:
     at_op:
         Alternative trigger: fire when the workload has completed this
         many operations (reported via ``notify_op``).
+    at_phase / phase_delay_ms:
+        Alternative trigger for node actions: fire
+        ``phase_delay_ms`` after the scenario reports entering the
+        named phase (via ``notify_phase``).
     probability:
         Message rules: per-message hit probability in [0, 1].
     target:
@@ -84,6 +94,8 @@ class FaultEvent:
     at_ms: Optional[float] = None
     until_ms: Optional[float] = None
     at_op: Optional[int] = None
+    at_phase: Optional[str] = None
+    phase_delay_ms: float = 0.0
     probability: float = 0.0
     target: Optional[str] = None
     pair: Optional[Tuple[str, str]] = None
@@ -99,8 +111,37 @@ class FaultEvent:
             raise ValueError(f"{self.action} needs a host pair")
         if self.action in NODE_ACTIONS[2:] and self.target is None:
             raise ValueError(f"{self.action} needs a target host")
-        if self.action in NODE_ACTIONS and self.at_ms is None and self.at_op is None:
-            raise ValueError(f"{self.action} needs an at_ms or at_op trigger")
+        if self.action in MESSAGE_ACTIONS and self.at_phase is not None:
+            raise ValueError("at_phase triggers apply to node actions only")
+        if (
+            self.action in NODE_ACTIONS
+            and self.at_ms is None
+            and self.at_op is None
+            and self.at_phase is None
+        ):
+            raise ValueError(f"{self.action} needs an at_ms, at_op or at_phase trigger")
+
+    def describe(self) -> str:
+        """Deterministic one-line rendering (shrunk-plan reports)."""
+        where = self.target or (self.pair and "|".join(sorted(self.pair))) or "*"
+        if self.at_op is not None:
+            when = f"at_op={self.at_op}"
+        elif self.at_phase is not None:
+            when = f"at_phase={self.at_phase}+{self.phase_delay_ms}ms"
+        elif self.at_ms is not None:
+            when = f"at_ms={self.at_ms}"
+            if self.until_ms is not None:
+                when += f"..{self.until_ms}"
+        else:
+            when = "always"
+        extra = ""
+        if self.action in MESSAGE_ACTIONS:
+            extra = f" p={self.probability}"
+            if self.action == "delay":
+                extra += f" +{self.extra_delay_ns}ns"
+            elif self.action == "duplicate":
+                extra += f" x{self.duplicates}"
+        return f"{self.action}@{where} {when}{extra}"
 
 
 @dataclass
@@ -120,6 +161,23 @@ class FaultPlan:
 
     def node_events(self) -> List[FaultEvent]:
         return [e for e in self.events if e.action in NODE_ACTIONS]
+
+    def subset(self, indices: Iterable[int]) -> "FaultPlan":
+        """A new plan keeping only the events at ``indices`` (in plan order).
+
+        The shrinker replays candidate sub-plans this way: because every
+        event keeps its own trigger and the RNG stream is named by
+        ``label``, a subset is itself a valid, deterministic plan.
+        """
+        keep = sorted(set(indices))
+        return FaultPlan(
+            events=[self.events[i] for i in keep if 0 <= i < len(self.events)],
+            label=self.label,
+        )
+
+    def describe(self) -> List[str]:
+        """Deterministic per-event renderings, in plan order."""
+        return [f"[{i}] {e.describe()}" for i, e in enumerate(self.events)]
 
 
 class FaultInjector:
@@ -152,9 +210,12 @@ class FaultInjector:
             (e for e in plan.node_events() if e.at_op is not None),
             key=lambda e: e.at_op,
         )
+        self._phase_events: Dict[str, List[FaultEvent]] = {}
         for event in plan.node_events():
             if event.at_ms is not None:
                 sim.call_at(int(event.at_ms * MS), self._fire, event)
+            elif event.at_phase is not None:
+                self._phase_events.setdefault(event.at_phase, []).append(event)
         fabric.install_fault_filter(self._filter)
 
     # -- fabric filter -----------------------------------------------------
@@ -194,6 +255,19 @@ class FaultInjector:
         self.op_count += completed
         while self._op_events and self._op_events[0].at_op <= self.op_count:
             self._fire(self._op_events.pop(0))
+
+    def notify_phase(self, name: str) -> None:
+        """Report entering a named control-path phase.
+
+        Each pending ``at_phase == name`` event is scheduled once,
+        ``phase_delay_ms`` of virtual time after this call. Only the
+        first notification of a given phase arms its events — repeated
+        phases (e.g. two repairs) fire the plan's events once, which
+        keeps replays of a shrunk plan unambiguous.
+        """
+        events = self._phase_events.pop(name, ())
+        for event in events:
+            self.sim.call_in(int(event.phase_delay_ms * MS), self._fire, event)
 
     def _fire(self, event: FaultEvent) -> None:
         action = event.action

@@ -22,7 +22,7 @@ from ..core.group import HyperLoopGroup
 from ..hw.host import Cluster
 from ..sim import MS, Simulator
 from ..storage.kvstore import ReplicatedKVStore
-from ..storage.recovery import ChainRepair, HeartbeatMonitor
+from ..storage.recovery import ChainRepair, ClientReattach, HeartbeatMonitor
 from ..workloads.ycsb import WORKLOADS, YcsbWorkload
 from .invariants import (
     InvariantResult,
@@ -36,6 +36,7 @@ from .invariants import (
 from .plan import FaultInjector, FaultPlan
 
 __all__ = [
+    "COMPOUND_SCENARIOS",
     "SCENARIOS",
     "ScenarioReport",
     "run_scenario",
@@ -285,10 +286,22 @@ def _scenario_lossy(seed: int) -> ScenarioReport:
 # -- failover scenarios (NIC crash / host crash -> detect -> repair) ----------------
 
 
-def _failover_scenario(name: str, seed: int, action: str) -> ScenarioReport:
+def _failover_scenario(
+    name: str,
+    seed: int,
+    action: str,
+    extra_events: Sequence[Dict] = (),
+    extra_exercised: Sequence[str] = (),
+) -> ScenarioReport:
     """Kill the mid-chain replica during a YCSB-keyed update stream;
     the heartbeat monitor must suspect it, ChainRepair must splice in
-    the spare, and writes must resume with nothing acked lost."""
+    the spare, and writes must resume with nothing acked lost.
+
+    ``extra_events`` are appended to the fault plan (keyword dicts for
+    :meth:`FaultPlan.add`); ``at_phase="repair"`` events fire relative
+    to the moment repair starts — that is how the compound
+    partition-during-repair scenario lands its partition inside the
+    catch-up window."""
     sim = Simulator(seed=seed)
     cluster = Cluster(sim, n_hosts=5, n_cores=4)
     client = cluster[0]
@@ -312,13 +325,15 @@ def _failover_scenario(name: str, seed: int, action: str) -> ScenarioReport:
     )
     crash_at_op = 25
     plan = FaultPlan(label=name).add(action, target="host2", at_op=crash_at_op)
+    for event in extra_events:
+        plan.add(**event)
     injector = FaultInjector(
         sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
     )
     monitor = HeartbeatMonitor(
         client, replicas, interval=2 * MS, miss_threshold=3, name=f"{name}.hb"
     )
-    repairer = ChainRepair(client, group, factory)
+    repairer = ChainRepair(client, group, factory, on_phase=injector.notify_phase)
 
     # Update stream keyed by YCSB workload A over fixed-size slots.
     slots = 48
@@ -398,7 +413,7 @@ def _failover_scenario(name: str, seed: int, action: str) -> ScenarioReport:
     final = repairer.group
     crash_ns = injector.fired[0][0] if injector.fired else 0
     invariants = [
-        _exercised(injector, action),
+        _exercised(injector, action, *extra_exercised),
         InvariantResult(
             "failed-replica-detected",
             progress["failed_index"] == 1,
@@ -426,6 +441,357 @@ def _scenario_nic_crash(seed: int) -> ScenarioReport:
 
 def _scenario_host_crash(seed: int) -> ScenarioReport:
     return _failover_scenario("host-crash", seed, "host_crash")
+
+
+# -- compound scenarios (overlapping failures) --------------------------------------
+
+
+def _scenario_partition_repair(seed: int) -> ScenarioReport:
+    """Host crash -> repair, with a client<->survivor partition landing
+    the moment catch-up starts and healing 2ms in. The repair preads
+    and the chain rebuild must ride out the window on RC
+    retransmission — §5.1 recovery under the very faults it recovers
+    from."""
+    extra = [
+        dict(action="partition", pair=("host0", "host1"), at_phase="repair"),
+        dict(
+            action="heal",
+            pair=("host0", "host1"),
+            at_phase="repair",
+            phase_delay_ms=2.0,
+        ),
+    ]
+    return _failover_scenario(
+        "partition-repair",
+        seed,
+        "host_crash",
+        extra_events=extra,
+        extra_exercised=["partition", "heal", "partition_drop"],
+    )
+
+
+def _scenario_stall_lossy(seed: int) -> ScenarioReport:
+    """NIC stall layered on a lossy fabric: while host2's NIC is dark,
+    drops/delays/duplicates keep hitting every other link — the
+    retransmission path must absorb both at once."""
+    plan = (
+        FaultPlan(label="stall-lossy")
+        .add("drop", probability=0.02)
+        .add("delay", probability=0.05, extra_delay_ns=2_000)
+        .add("duplicate", probability=0.02, duplicates=1)
+        .add("nic_stall", target="host2", at_ms=0.5)
+        .add("nic_resume", target="host2", at_ms=2.0)
+    )
+    return _gwrite_scenario(
+        "stall-lossy",
+        seed,
+        plan,
+        ["drop", "delay", "duplicate", "nic_stall"],
+        n_ops=40,
+        pace_ns=50_000,
+        deadline_ms=10_000,
+    )
+
+
+def _scenario_double_crash(seed: int) -> ScenarioReport:
+    """Cascading failures: a second replica dies after the first
+    repair completes. Two full detect -> repair -> re-issue rounds must
+    each land within the suspicion bound with nothing acked lost."""
+    name = "double-crash"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=6, n_cores=4)
+    client = cluster[0]
+    replicas = cluster.hosts[1:4]
+    spares = [cluster[4], cluster[5]]
+    region_size = 1 << 14
+    generation = [0]
+
+    def factory(members):
+        generation[0] += 1
+        return HyperLoopGroup(
+            client,
+            members,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.g{generation[0]}",
+        )
+
+    group = HyperLoopGroup(
+        client, replicas, region_size=region_size, rounds=16, name=f"{name}.g0"
+    )
+    plan = (
+        FaultPlan(label=name)
+        .add("host_crash", target="host2", at_op=15)
+        .add("host_crash", target="host3", at_op=30)
+    )
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    # The first spare joins after repair 1, so it is monitored from the
+    # start (idle beats are harmless and never suspected).
+    candidates = list(replicas) + [spares[0]]
+    monitor = HeartbeatMonitor(
+        client, candidates, interval=2 * MS, miss_threshold=3, name=f"{name}.hb"
+    )
+    repairer = ChainRepair(client, group, factory, on_phase=injector.notify_phase)
+
+    rng = sim.rng("chaos-ops")
+    slot = 256
+    n_ops = 45
+    ops = []
+    for _ in range(n_ops):
+        offset = rng.randrange(region_size // slot) * slot
+        size = rng.randrange(16, slot)
+        ops.append((offset, bytes([rng.randrange(1, 256)]) * size))
+
+    model = bytearray(region_size)
+    acked: Dict[int, bytes] = {}
+    progress: Dict[str, object] = {
+        "done": False,
+        "detects": [],
+        "failed_hosts": [],
+        "reissued": 0,
+    }
+
+    def one_shot(target_group, offset, size):
+        def body(task):
+            yield from target_group.gwrite(task, offset, size)
+
+        return body
+
+    def writer(task):
+        for index, (offset, data) in enumerate(ops):
+            while True:
+                while repairer.paused:
+                    yield from task.sleep(100_000)
+                current = repairer.group
+                current.write_local(offset, data)
+                sub = client.os.spawn(
+                    one_shot(current, offset, len(data)), name=f"{name}.op{index}"
+                )
+                while (
+                    not sub.process.triggered
+                    and repairer.group is current
+                    and not repairer.paused
+                ):
+                    yield from task.sleep(50_000)
+                if sub.process.triggered:
+                    break
+                progress["reissued"] += 1
+            model[offset : offset + len(data)] = data
+            acked[offset] = data
+            injector.notify_op()
+        progress["done"] = True
+
+    def detector(task):
+        handled = set()
+        for round_ in range(2):
+            while True:
+                found = None
+                for index in range(len(candidates)):
+                    if index not in handled and monitor.suspected(index):
+                        found = index
+                        break
+                if found is not None:
+                    break
+                yield from task.sleep(monitor.interval)
+            handled.add(found)
+            progress["detects"].append(sim.now)
+            failed_host = candidates[found]
+            progress["failed_hosts"].append(failed_host.name)
+            monitor.stop_beats(found)
+            current = repairer.group
+            failed_index = current.replicas.index(failed_host)
+            yield from repairer.repair(
+                task,
+                failed_index,
+                spares[round_],
+                copy_from=0 if failed_index != 0 else 1,
+            )
+
+    client.os.spawn(writer, name=f"{name}.writer")
+    client.os.spawn(detector, name=f"{name}.detector")
+    run_until(
+        sim,
+        lambda: progress["done"] and repairer.repairs == 2,
+        deadline_ms=5_000,
+    )
+    sim.run(until=sim.now + 5 * MS)
+
+    final = repairer.group
+    crash_times = [when for when, _ in injector.fired]
+    suspicion = [
+        check_suspicion_bound(
+            monitor,
+            crash_times[index] if index < len(crash_times) else 0,
+            progress["detects"][index] if index < len(progress["detects"]) else 0,
+            name=f"suspicion-bound-{index + 1}",
+        )
+        for index in range(2)
+    ]
+    invariants = [
+        _exercised(injector, "host_crash"),
+        InvariantResult(
+            "both-crashes-fired",
+            injector.counters.get("host_crash", 0) == 2,
+            f"host_crash fired {injector.counters.get('host_crash', 0)}x",
+        ),
+        InvariantResult(
+            "failed-replicas-detected",
+            progress["failed_hosts"] == ["host2", "host3"],
+            "detected " + ",".join(progress["failed_hosts"]),
+        ),
+        *suspicion,
+        InvariantResult(
+            "repairs-completed",
+            repairer.repairs == 2
+            and [host.name for host in final.replicas]
+            == ["host1", "host4", "host5"],
+            f"repairs={repairer.repairs} membership="
+            + ",".join(host.name for host in final.replicas),
+        ),
+        check_acked_writes(final, acked),
+        check_model_match(final, model),
+        check_replicas_identical(final),
+        check_no_errors(final),
+    ]
+    notes = [f"writes re-issued after failures: {progress['reissued']}"]
+    return _finish(name, seed, sim, injector, n_ops, invariants, notes)
+
+
+def _scenario_client_crash(seed: int) -> ScenarioReport:
+    """The coordinator itself crashes mid-stream and restarts 1ms
+    later: :class:`ClientReattach` rebuilds the read path over fresh
+    QPs, pulls the image from the chain head, and re-installs it
+    through a fresh group. The writer re-issues the op that died with
+    the client."""
+    name = "client-crash"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    client = cluster[0]
+    region_size = 1 << 14
+    generation = [0]
+
+    def factory(members):
+        generation[0] += 1
+        return HyperLoopGroup(
+            client,
+            members,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.g{generation[0]}",
+        )
+
+    group = HyperLoopGroup(
+        client, cluster.hosts[1:4], region_size=region_size, rounds=16, name=f"{name}.g0"
+    )
+    # The crash must land while a gwrite is *in flight* (an op-count
+    # trigger fires synchronously between ops), so it hangs off a
+    # phase the writer notifies right after posting op 15; the restart
+    # hangs off a phase the recoverer reports when it notices the
+    # outage.
+    plan = (
+        FaultPlan(label=name)
+        .add("host_crash", target="host0", at_phase="mid-op")
+        .add(
+            "host_restart",
+            target="host0",
+            at_phase="client-down",
+            phase_delay_ms=1.0,
+        )
+    )
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    reattacher = ClientReattach(client, group, factory)
+
+    rng = sim.rng("chaos-ops")
+    slot = 256
+    n_ops = 30
+    ops = []
+    for _ in range(n_ops):
+        offset = rng.randrange(region_size // slot) * slot
+        size = rng.randrange(16, slot)
+        ops.append((offset, bytes([rng.randrange(1, 256)]) * size))
+
+    model = bytearray(region_size)
+    acked: Dict[int, bytes] = {}
+    progress: Dict[str, object] = {
+        "done": False,
+        "outage": False,
+        "reattached": False,
+        "reissued": 0,
+    }
+
+    def one_shot(target_group, offset, size):
+        def body(task):
+            yield from target_group.gwrite(task, offset, size)
+
+        return body
+
+    def writer(task):
+        for index, (offset, data) in enumerate(ops):
+            while True:
+                while client.down or progress["outage"]:
+                    yield from task.sleep(100_000)
+                current = reattacher.group
+                current.write_local(offset, data)
+                sub = client.os.spawn(
+                    one_shot(current, offset, len(data)), name=f"{name}.op{index}"
+                )
+                if index == 15:
+                    injector.notify_phase("mid-op")  # crash lands on this op
+                while (
+                    not sub.process.triggered
+                    and reattacher.group is current
+                    and not client.down
+                ):
+                    yield from task.sleep(50_000)
+                if sub.process.triggered:
+                    break
+                # The op died with the client (never acked): replay it
+                # once the re-attached group is up.
+                progress["reissued"] += 1
+            model[offset : offset + len(data)] = data
+            acked[offset] = data
+            injector.notify_op()
+        progress["done"] = True
+
+    def recoverer(task):
+        while not client.down:
+            yield from task.sleep(200_000)
+        progress["outage"] = True
+        injector.notify_phase("client-down")  # arms the planned restart
+        while client.down:
+            yield from task.sleep(200_000)
+        yield from reattacher.reattach(task)
+        progress["reattached"] = True
+        progress["outage"] = False
+
+    client.os.spawn(writer, name=f"{name}.writer")
+    client.os.spawn(recoverer, name=f"{name}.recover")
+    run_until(
+        sim,
+        lambda: progress["done"] and progress["reattached"],
+        deadline_ms=5_000,
+    )
+    sim.run(until=sim.now + 2 * MS)
+
+    final = reattacher.group
+    invariants = [
+        _exercised(injector, "host_crash", "host_restart"),
+        InvariantResult(
+            "reattach-completed",
+            reattacher.reattaches == 1 and final is not group,
+            f"reattaches={reattacher.reattaches}",
+        ),
+        check_acked_writes(final, acked),
+        check_model_match(final, model),
+        check_replicas_identical(final),
+        check_no_errors(final),
+    ]
+    notes = [f"writes re-issued after client crash: {progress['reissued']}"]
+    return _finish(name, seed, sim, injector, n_ops, invariants, notes)
 
 
 # -- power-failure durability scenario ---------------------------------------------
@@ -510,7 +876,28 @@ SCENARIOS: Dict[str, _Scenario] = {
     "power-failure": _Scenario(
         _scenario_power_failure, "replica power loss; WAL recovery from durable NVM"
     ),
+    "partition-repair": _Scenario(
+        _scenario_partition_repair,
+        "host crash -> repair with a partition landing mid-catch-up",
+    ),
+    "double-crash": _Scenario(
+        _scenario_double_crash, "two replicas die in sequence; two repair rounds"
+    ),
+    "stall-lossy": _Scenario(
+        _scenario_stall_lossy, "NIC stall layered on drop+delay+duplicate fabric"
+    ),
+    "client-crash": _Scenario(
+        _scenario_client_crash, "coordinator crash -> restart -> re-attach + catch-up"
+    ),
 }
+
+COMPOUND_SCENARIOS = (
+    "partition-repair",
+    "double-crash",
+    "stall-lossy",
+    "client-crash",
+)
+"""The overlapping-failure subset — the default sweep matrix."""
 
 
 def run_scenario(name: str, seed: int) -> ScenarioReport:

@@ -113,6 +113,11 @@ class NicParams:
     """Retries before the requester gives up and completes the WQE
     with ``WC_RETRY_EXCEEDED`` (ibv retry_cnt, scaled up: the
     simulator models partitions that heal)."""
+    reply_cache_entries: int = 256
+    """How many executed-request replies the responder keeps for
+    duplicate re-ACKs (lossy fabrics only). Bounds responder memory;
+    a retransmit of anything older is silently ignored — the
+    requester would have retry-exceeded long before."""
 
 
 @dataclass
@@ -650,18 +655,12 @@ class NicQp:
             else:
                 raise ValueError(f"unknown wire message kind {msg.kind!r}")
 
-    # How many executed-request replies to keep for duplicate re-ACKs.
-    # Bounds responder memory; anything older than this many requests
-    # cannot be retransmitted (the requester would have retry-exceeded
-    # long before).
-    _REPLY_CACHE_ENTRIES = 256
-
     def _reply(self, msg: _WireMsg, reply: _WireMsg, nbytes: int) -> None:
         remote_host, _ = self.remote
         if self.nic.fabric.lossy:
             cache = self._reply_cache
             cache[msg.seq] = (reply, nbytes)
-            while len(cache) > self._REPLY_CACHE_ENTRIES:
+            while len(cache) > self.nic.params.reply_cache_entries:
                 cache.popitem(last=False)
         self.nic.transmit(remote_host, reply, nbytes)
 

@@ -32,7 +32,7 @@ from ..hw.wqe import FLAG_VALID, Opcode, Wqe
 from ..obs.trace import TRACER
 from ..sim import MS
 
-__all__ = ["HeartbeatMonitor", "ChainRepair"]
+__all__ = ["HeartbeatMonitor", "ChainRepair", "ClientReattach"]
 
 
 class HeartbeatMonitor:
@@ -141,12 +141,24 @@ class ChainRepair:
         same region size. Called once membership is decided.
     """
 
-    def __init__(self, client: Host, group, group_factory: Callable):
+    def __init__(
+        self,
+        client: Host,
+        group,
+        group_factory: Callable,
+        on_phase: Optional[Callable[[str], None]] = None,
+    ):
         self.client = client
         self.group = group
         self.group_factory = group_factory
         self.paused = False
         self.repairs = 0
+        # Control-path phase hook: called with "repair" the moment a
+        # repair starts. Chaos scenarios feed this into
+        # ``FaultInjector.notify_phase`` so a plan can land a fault
+        # *inside* the repair window, whose absolute time depends on
+        # detection latency.
+        self.on_phase = on_phase
 
     def repair(
         self,
@@ -165,6 +177,8 @@ class ChainRepair:
         ends identical.
         """
         self.paused = True
+        if self.on_phase is not None:
+            self.on_phase("repair")
         started = task.sim.now
         if TRACER.enabled:
             TRACER.record(
@@ -220,4 +234,77 @@ class ChainRepair:
                 args={"catch_up_bytes": region_size},
             )
             TRACER.count("recovery.repairs")
+        return new_group
+
+
+class ClientReattach:
+    """Client crash recovery: re-attach the coordinator to its group.
+
+    The §3.2 "application specific" recovery flow for the *client*
+    side. After the coordinator host restarts, its NIC has lost every
+    volatile QP and ring — the old chain is unreachable from the
+    client — but the replicas' regions are retained NIC/memory state
+    holding the last replicated image. Recovery mirrors
+    :class:`ChainRepair`:
+
+    1. Rebuild a one-sided read path over fresh QPs
+       (:meth:`~repro.core.group.HyperLoopGroup.reattach_client`).
+    2. Pull the authoritative image from the chain *head* (replica 0):
+       in chain replication every acked write has reached the head, so
+       the head's bytes are a superset of everything acknowledged.
+    3. Build a fresh group (fresh chains, fresh regions) over the same
+       membership and install the image through the new chain, so all
+       members end identical — including writes that were mid-chain at
+       crash time, which re-converge to the head's view.
+    """
+
+    def __init__(self, client: Host, group, group_factory: Callable):
+        self.client = client
+        self.group = group
+        self.group_factory = group_factory
+        self.reattaches = 0
+
+    def reattach(self, task: Task) -> Generator:
+        """Recover after a client restart; returns the new group."""
+        started = task.sim.now
+        if TRACER.enabled:
+            TRACER.record(
+                started,
+                "B",
+                "fault",
+                "client_reattach",
+                pid="recovery",
+                tid=task.name,
+                args={"client": self.client.name},
+            )
+        old = self.group
+        region_size = old.region_size
+        old.stop()
+        old.reattach_client()
+        chunk = 8192
+        image = bytearray()
+        for offset in range(0, region_size, chunk):
+            size = min(chunk, region_size - offset)
+            piece = yield from old.pread(task, 0, offset, size)
+            image.extend(piece)
+        new_group = self.group_factory(list(old.replicas))
+        if new_group.region_size != region_size:
+            raise ValueError("reattached group must keep the region size")
+        new_group.client_region.write(0, bytes(image))
+        for offset in range(0, region_size, chunk):
+            size = min(chunk, region_size - offset)
+            yield from new_group.gwrite(task, offset, size)
+        self.group = new_group
+        self.reattaches += 1
+        if TRACER.enabled:
+            TRACER.record(
+                task.sim.now,
+                "E",
+                "fault",
+                "client_reattach",
+                pid="recovery",
+                tid=task.name,
+                args={"catch_up_bytes": region_size},
+            )
+            TRACER.count("recovery.reattaches")
         return new_group

@@ -129,6 +129,68 @@ class TestFaultInjector:
         assert cluster[2].nic.crashed
         assert injector.fired and injector.fired[0][1] == "host_crash@host2"
 
+    def test_at_phase_trigger_fires_after_notify(self):
+        plan = FaultPlan(label="ph").add(
+            "nic_stall", target="host1", at_phase="repair", phase_delay_ms=1.0
+        )
+        sim, cluster, injector = _injector(6, plan)
+        sim.run(until=5 * MS)
+        assert not cluster[1].nic.halted, "must not fire before the phase"
+        injector.notify_phase("repair")
+        sim.run(until=sim.now + int(0.5 * MS))
+        assert not cluster[1].nic.halted, "phase_delay_ms not honoured"
+        sim.run(until=sim.now + MS)
+        assert cluster[1].nic.halted
+
+    def test_at_phase_fires_once_per_plan(self):
+        plan = FaultPlan(label="ph1").add(
+            "nic_stall", target="host1", at_phase="repair"
+        )
+        sim, cluster, injector = _injector(7, plan)
+        injector.notify_phase("repair")
+        sim.run(until=MS)
+        cluster[1].nic.resume()
+        injector.notify_phase("repair")  # second repair: event already spent
+        sim.run(until=2 * MS)
+        assert not cluster[1].nic.halted
+        assert injector.counters["nic_stall"] == 1
+
+    def test_at_phase_rejected_for_message_rules(self):
+        with pytest.raises(ValueError, match="node actions only"):
+            FaultEvent("drop", probability=0.1, at_phase="repair")
+
+    def test_phase_counts_as_node_trigger(self):
+        # at_phase alone satisfies the node-action trigger requirement.
+        FaultEvent("nic_crash", target="host1", at_phase="repair")
+
+
+class TestFaultPlanSubset:
+    def _plan(self):
+        return (
+            FaultPlan(label="sub")
+            .add("drop", probability=0.1)
+            .add("nic_stall", target="host1", at_ms=1.0)
+            .add("nic_resume", target="host1", at_ms=2.0)
+            .add("corrupt", probability=0.02)
+        )
+
+    def test_subset_keeps_selected_events_in_order(self):
+        plan = self._plan()
+        sub = plan.subset([3, 0])
+        assert [e.action for e in sub.events] == ["drop", "corrupt"]
+        assert sub.label == plan.label, "label (and so the RNG stream) must survive"
+
+    def test_subset_ignores_out_of_range(self):
+        sub = self._plan().subset([1, 99, -3])
+        assert [e.action for e in sub.events] == ["nic_stall"]
+
+    def test_describe_is_deterministic_and_indexed(self):
+        plan = self._plan()
+        lines = plan.describe()
+        assert lines == plan.describe()
+        assert lines[0].startswith("[0] drop@* always p=0.1")
+        assert "[1] nic_stall@host1 at_ms=1.0" in lines[1]
+
 
 @pytest.fixture
 def rig():
@@ -254,6 +316,95 @@ class TestNicFaults:
         run_until(sim, lambda: qp_a.send_cq.completions_total >= 1)
         cqes = qp_a.send_cq.poll()
         assert cqes[0].status == WC_RETRY_EXCEEDED
+
+
+class TestRcEdgeCases:
+    """Reply-cache bounds, retry-budget surfacing, post-ack dedup."""
+
+    def _lossy_rig(self, seed, **param_overrides):
+        sim = Simulator(seed=seed)
+        params = NicParams(**param_overrides)
+        cluster = Cluster(sim, n_hosts=2, nic_params=params)
+        a, b = cluster[0], cluster[1]
+        qp_a = a.dev.create_qp(name="a")
+        qp_b = b.dev.create_qp(name="b")
+        qp_a.connect(qp_b)
+        buf_a = a.memory.alloc(8192, nvm=True, label="buf_a")
+        buf_b = b.memory.alloc(8192, nvm=True, label="buf_b")
+        a.dev.reg_mr(buf_a, AccessFlags.ALL_REMOTE)
+        mr_b = b.dev.reg_mr(buf_b, AccessFlags.ALL_REMOTE)
+        return sim, cluster, a, b, qp_a, qp_b, buf_a, buf_b, mr_b
+
+    def test_reply_cache_evicts_at_bound(self):
+        sim, cluster, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = self._lossy_rig(
+            13, reply_cache_entries=4
+        )
+        # A pass-through filter arms lossy mode (and so reply caching)
+        # without perturbing any message.
+        cluster.fabric.install_fault_filter(lambda src, dst, payload, nbytes: None)
+        for index in range(8):
+            buf_a.write(0, bytes([index + 1]) * 8)
+            qp_a.post_send(_write_wqe(buf_a, buf_b, mr_b, wr_id=index + 1))
+            run_until(
+                sim, lambda need=index + 1: qp_a.send_cq.completions_total >= need
+            )
+        cache = qp_b.hw._reply_cache
+        assert len(cache) == 4, "cache must stay at its configured bound"
+        keys = list(cache.keys())
+        assert keys == sorted(keys)
+        assert min(keys) == max(keys) - 3, "oldest seqs must be the evicted ones"
+
+    def test_retry_exhaustion_surfaces_to_op_layer(self):
+        sim = Simulator(seed=14)
+        params = NicParams(retransmit_timeout_ns=50_000, retransmit_limit=3)
+        cluster = Cluster(sim, n_hosts=4, nic_params=params, n_cores=4)
+        group = HyperLoopGroup(
+            cluster[0], cluster.hosts[1:], region_size=1 << 12, rounds=16, name="rx"
+        )
+        cluster.fabric.install_fault_filter(
+            lambda src, dst, payload, nbytes: FaultVerdict(drop=True)
+        )
+
+        def body(task):
+            group.write_local(0, b"never-acked")
+            yield from group.gwrite(task, 0, 11)
+
+        cluster[0].os.spawn(body, "client")
+        run_until(sim, lambda: bool(group.errors))
+        assert any("send error" in error for error in group.errors), group.errors
+
+    def test_duplicate_after_ack_is_deduped(self, rig):
+        sim, cluster, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        captured = []
+        acks = []
+
+        def tap(src, dst, payload, nbytes):
+            kind = getattr(payload, "kind", None)
+            if kind == "write":
+                captured.append((src, dst, payload, nbytes))
+            elif kind == "ack":
+                acks.append(payload)
+            return None
+
+        cluster.fabric.install_fault_filter(tap)
+        buf_a.write(0, b"original")
+        qp_a.post_send(_write_wqe(buf_a, buf_b, mr_b))
+        run_until(sim, lambda: qp_a.send_cq.completions_total >= 1)
+        assert b.nic.cache.read(buf_b.addr, 8) == b"original"
+        assert len(captured) == 1 and len(acks) == 1
+        # Scribble over the landing zone: a re-execution of the
+        # duplicate would restore "original" and expose itself.
+        b.nic.dma_write(buf_b.addr, b"SCRIBBLE")
+        next_seq = qp_b.hw._rx_next_seq
+        src, dst, payload, nbytes = captured[0]
+        cluster.fabric.send(src, dst, payload, nbytes)
+        sim.run(until=sim.now + MS)
+        assert b.nic.cache.read(buf_b.addr, 8) == b"SCRIBBLE", (
+            "duplicate write was re-executed"
+        )
+        assert qp_b.hw._rx_next_seq == next_seq
+        assert len(acks) == 2, "cached reply must be replayed for the duplicate"
+        assert acks[1].seq == acks[0].seq
 
 
 class TestPowerFailureDurability:
