@@ -36,6 +36,7 @@ from ..sim import Simulator
 
 __all__ = [
     "bench_kernel_events",
+    "bench_nic_hotpath",
     "bench_gwrite",
     "bench_fig8",
     "bench_fig8_traced",
@@ -90,6 +91,65 @@ def bench_kernel_events(
         "events": events,
         "wall_s": wall,
         "events_per_sec": events / wall,
+        "final_now": sim.now,
+    }
+
+
+def bench_nic_hotpath(
+    n_ops: int = 4000, burst: int = 16, seed: int = 5
+) -> Dict[str, Any]:
+    """Send-engine throughput: bursts of signaled WRITEs on a QP pair.
+
+    Bursts keep several consecutive WQEs ready in the send queue, the
+    regime the batched dispatch loop and the chained-execution engine
+    rewrite — so this figure moves with NIC-path changes that the pure
+    kernel benchmark cannot see.
+    """
+    from ..hw import Cluster
+    from ..rdma import AccessFlags, FLAG_SIGNALED, Opcode, Wqe
+
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=2)
+    a, b = cluster[0], cluster[1]
+    qp_a = a.dev.create_qp(name="a")
+    qp_b = b.dev.create_qp(name="b")
+    qp_a.connect(qp_b)
+    buf_a = a.memory.alloc(4096, label="bench_a")
+    buf_b = b.memory.alloc(4096, label="bench_b")
+    a.dev.reg_mr(buf_a, AccessFlags.ALL_REMOTE)
+    mr_b = b.dev.reg_mr(buf_b, AccessFlags.ALL_REMOTE)
+    done = 0
+
+    def driver():
+        nonlocal done
+        while done < n_ops:
+            for index in range(burst):
+                qp_a.post_send(
+                    Wqe(
+                        opcode=Opcode.WRITE,
+                        flags=FLAG_SIGNALED,
+                        length=64,
+                        local_addr=buf_a.addr,
+                        remote_addr=buf_b.addr + (index % 8) * 64,
+                        rkey=mr_b.rkey,
+                        wr_id=done + index,
+                    )
+                )
+            target = done + burst
+            while done < target:
+                event = qp_a.send_cq.next_event()
+                if not event.triggered:
+                    yield event
+                done += len(qp_a.send_cq.poll())
+
+    sim.spawn(driver())
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    return {
+        "ops": done,
+        "wall_s": wall,
+        "wqe_per_sec": done / wall,
         "final_now": sim.now,
     }
 
@@ -252,6 +312,12 @@ def run_suite(
     )
     entry["kernel_events_per_sec"] = round(kernel["events_per_sec"])
     entry["kernel_events"] = kernel["events"]
+
+    nic = _best(
+        lambda: bench_nic_hotpath(n_ops=800 if quick else 4000),
+        repeats,
+    )
+    entry["nic_wqe_per_sec"] = round(nic["wqe_per_sec"])
 
     gwrite = _best(
         lambda: bench_gwrite(total_bytes=(1 << 20) if quick else (4 << 20)),

@@ -169,7 +169,7 @@ class HwCq:
         self.completions_total = 0
         self.wait_consumed = 0  # completions consumed by hardware WAITs
         self._threshold_waiters: List[Tuple[int, Event]] = []
-        self._channel: Optional[Event] = None
+        self._channel_waiters: List[Event] = []
         self._channel_name = self.name + ".channel"
 
     def push(self, cqe: Cqe) -> None:
@@ -184,9 +184,15 @@ class HwCq:
                 else:
                     still_waiting.append((threshold, event))
             self._threshold_waiters = still_waiting
-        if self._channel is not None:
-            channel, self._channel = self._channel, None
-            channel.succeed(cqe)
+        if self._channel_waiters:
+            # Wake-then-poll: every waiter gets the pending-entry count
+            # and races to poll(). Handing a CQE to more than one
+            # waiter would double-deliver a completion the first
+            # consumer may already have drained.
+            waiters, self._channel_waiters = self._channel_waiters, []
+            pending = len(self.entries)
+            for event in waiters:
+                event.succeed(pending)
 
     def poll(self, max_entries: int = 16) -> List[Cqe]:
         """Drain up to ``max_entries`` completions (non-blocking)."""
@@ -196,21 +202,32 @@ class HwCq:
     def next_event(self) -> Event:
         """Event firing at the next :meth:`push` (completion channel).
 
-        If entries are already pending, fires immediately — software
-        should still :meth:`poll` to drain them.
+        Wake-then-poll semantics: the event's value is the number of
+        entries pending at wake time, never a CQE — consumers must
+        :meth:`poll` to claim completions, and with several concurrent
+        waiters only the poll winner gets each CQE. If entries are
+        already pending the event is pre-triggered.
         """
         event = Event(self.sim, self._channel_name)
         if self.entries:
-            event.succeed(self.entries[0])
-            return event
-        if self._channel is None:
-            self._channel = event
-            return event
-        # Multiple waiters: chain onto the existing channel event.
-        self._channel.add_callback(
-            lambda chan: event.succeed(chan.value) if not event.triggered else None
-        )
+            event.succeed(len(self.entries))
+        else:
+            self._channel_waiters.append(event)
         return event
+
+    def invalidate_waiters(self) -> int:
+        """Drop threshold waiters and void unfulfilled WAIT
+        reservations (NIC crash: WAIT state is on-NIC volatile, so a
+        pre-crash WAIT must not be satisfiable by post-restart
+        completions against its stale reservation). Channel waiters
+        are software-side and survive — the driver's ``next_event``
+        legitimately wakes on post-restart completions. Returns the
+        number of waiters dropped."""
+        dropped = len(self._threshold_waiters)
+        self._threshold_waiters.clear()
+        if self.wait_consumed > self.completions_total:
+            self.wait_consumed = self.completions_total
+        return dropped
 
     def threshold_event(self, threshold: int) -> Event:
         """Event firing once ``completions_total >= threshold`` (WAIT)."""
@@ -276,6 +293,15 @@ class NicQp:
         # names per lap shows up in profiles, so build them once.
         self._kick_name = f"qp{qpn}.kick"
         self._rkick_name = f"qp{qpn}.rkick"
+        self._run_name = f"qp{qpn}.run"
+        # Batched-run state (fast dispatch only): while a run of
+        # consecutive ready non-WAIT WQEs drains, the tx engine
+        # generator sleeps on ``_run_event`` and these fields carry the
+        # WQE currently in flight between the chain callbacks.
+        self._tx_proc = None
+        self._run_event: Optional[Event] = None
+        self._run_wqe: Optional[Wqe] = None
+        self._run_from = 0
         self._next_seq = 0
         self._pending: List[_PendingSend] = []
         self._engine_started = False
@@ -293,7 +319,7 @@ class NicQp:
         self.remote = (remote_host, remote_qpn)
         if not self._engine_started:
             self._engine_started = True
-            self.nic.sim.spawn(
+            self._tx_proc = self.nic.sim.spawn(
                 self._send_engine(), name=f"{self.nic.name}/qp{self.qpn}/tx"
             )
             self.nic.sim.spawn(
@@ -442,6 +468,19 @@ class NicQp:
                     TRACER.count("nic.wait_triggers")
                 self.send_consumer += 1
                 continue
+            if sim._fast_dispatch:
+                # Batched run: drain this and every consecutive ready
+                # non-WAIT WQE behind it in one engine wakeup. The
+                # chain callbacks (_exec_fire/_exec_complete) mirror
+                # the claimed-timeout hops of the per-WQE path below
+                # push for push, so execution/launch times, context
+                # penalties, and trace records are identical — the
+                # generator just isn't resumed per WQE. It wakes here
+                # again at the first boundary (empty ring, invalid
+                # slot, WAIT, or halt) and re-evaluates the loop head
+                # at exactly the time the per-WQE path would.
+                yield self._start_run(wqe)
+                continue
             exec_from = sim.now
             yield sim.timeout(
                 params.wqe_process_ns + self.nic.qp_context_penalty(self.qpn)
@@ -460,6 +499,84 @@ class NicQp:
                 )
                 TRACER.count("nic.wqe_executed")
             self.send_consumer += 1
+
+    # -- batched send run (fast dispatch) -----------------------------------------
+
+    def _start_run(self, wqe: Wqe) -> Event:
+        """Begin a batched run with ``wqe``; returns the engine's sleep
+        event. Mirrors ``yield sim.timeout(process + penalty)``: the
+        processing-complete trigger is scheduled *now*, penalty
+        assessed at the same instant the per-WQE path would."""
+        sim = self.nic.sim
+        event = Event(sim, self._run_name)
+        self._run_event = event
+        self._run_wqe = wqe
+        self._run_from = sim.now
+        delay = self.nic.params.wqe_process_ns + self.nic.qp_context_penalty(self.qpn)
+        sim._push(sim.now + delay, self._exec_fire, ())
+        return event
+
+    def _exec_fire(self) -> None:
+        """Processing-time elapsed for the WQE in flight.
+
+        Mirrors the claimed Timeout._fire: verify the engine is still
+        parked on this run (an interrupt abandons it, exactly like an
+        unclaimed fire), then hop through the queue so the launch runs
+        in the slot the per-WQE path's resume would occupy."""
+        proc = self._tx_proc
+        event = self._run_event
+        if event is None or proc._waiting_on is not event:
+            self._run_event = None
+            self._run_wqe = None
+            return
+        self.nic.sim._push(self.nic.sim.now, self._exec_complete, ())
+
+    def _exec_complete(self) -> None:
+        """Launch the in-flight WQE and extend or end the run.
+
+        This body is the per-WQE path's resume slot: launch, trace,
+        consumer advance, then the loop-head checks — all in one
+        dispatch, in the same order the generator performs them. A
+        ready non-WAIT successor chains the next _exec_fire without
+        waking the generator; any boundary resumes it synchronously so
+        the WAIT/halt/kick handling runs at the identical point."""
+        sim = self.nic.sim
+        wqe = self._run_wqe
+        self._run_wqe = None
+        self._launch(wqe)
+        if TRACER.enabled:
+            TRACER.record(
+                self._run_from,
+                "X",
+                "nic",
+                Opcode.NAMES.get(wqe.opcode, f"op{wqe.opcode}"),
+                pid=self.nic.name,
+                tid=f"qp{self.qpn}/tx",
+                dur=sim.now - self._run_from,
+                args={"wr_id": wqe.wr_id, "len": wqe.length},
+            )
+            TRACER.count("nic.wqe_executed")
+        self.send_consumer += 1
+        # Loop-head checks, in the generator's order.
+        if not self.nic.halted and self.send_consumer < self.send_producer:
+            nxt = self._read_send_wqe(self.send_consumer)
+            if nxt.valid and nxt.opcode != Opcode.WAIT:
+                self._run_wqe = nxt
+                self._run_from = sim.now
+                delay = self.nic.params.wqe_process_ns + self.nic.qp_context_penalty(
+                    self.qpn
+                )
+                sim._push(sim.now + delay, self._exec_fire, ())
+                return
+        # Boundary: wake the engine generator in this same dispatch so
+        # it re-runs its loop head (halt gate, kick wait, WAIT branch)
+        # exactly where the per-WQE path would.
+        proc = self._tx_proc
+        event = self._run_event
+        self._run_event = None
+        if proc._waiting_on is event:
+            proc._waiting_on = None
+            proc._resume(None, None)
 
     def _launch(self, wqe: Wqe) -> None:
         """Transmit one non-WAIT WQE; completion arrives later in order."""
@@ -600,7 +717,17 @@ class NicQp:
         sim = self.nic.sim
         params = self.nic.params
         while True:
-            msg: _WireMsg = yield self.ingress.get()
+            # Same-arrival coalescing: when deliveries are already
+            # queued (a batch of same-timestamp arrivals), take the
+            # head without allocating a get-event and park for one
+            # queue hop instead — the hop resumes at the exact slot a
+            # pre-triggered get() would, so interleaving with other
+            # same-time work is unchanged.
+            msg: Optional[_WireMsg] = self.ingress.try_get()
+            if msg is None:
+                msg = yield self.ingress.get()
+            else:
+                yield sim.hop()
             if self.nic.halted:
                 # Stalled NIC: hold the message until resume (crashed
                 # NICs never enqueue — _on_wire drops at the port).
@@ -897,7 +1024,10 @@ class Rnic:
 
     def _lazy_drain(self) -> None:
         self._drain_scheduled = False
-        self.cache.flush_all()
+        # A READ-triggered flush_all (or host_write flush) may already
+        # have drained everything; skip the redundant walk then.
+        if self.cache.dirty:
+            self.cache.flush_all()
 
     def transmit(self, remote_host: str, msg: _WireMsg, nbytes: int) -> None:
         """Hand a message to the fabric (loopback stays on-NIC)."""
@@ -969,6 +1099,14 @@ class Rnic:
             qp.ingress.clear()
             qp._pending.clear()
             qp._reply_cache.clear()
+        # WAIT WQE state is on-NIC and volatile: armed threshold
+        # waiters die with the crash and their unfulfilled
+        # reservations are voided, or post-restart completions could
+        # satisfy a pre-crash WAIT against a stale wait_consumed
+        # claim. (stall() deliberately keeps them: state survives a
+        # firmware hiccup.)
+        for cq in self.cqs.values():
+            cq.invalidate_waiters()
         if TRACER.enabled:
             TRACER.record(
                 self.sim.now, "i", "fault", "nic.crash", pid=self.name,

@@ -37,7 +37,7 @@ can import it without cycles.
 from __future__ import annotations
 
 import time
-from heapq import heappop
+from heapq import heappop, heappush
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
@@ -247,9 +247,16 @@ class Tracer:
         the target's subsystem and (optionally) records an instant
         event at the simulated timestamp. Raises and clock semantics
         match ``Simulator.run``.
+
+        Fast-dispatch simulators run the batched variant (mirroring the
+        batched ``Simulator.run`` loop); generic simulators run the
+        one-pop-at-a-time copy below. Both attribute and record every
+        dispatch individually — batching never merges trace records.
         """
         from ..sim.kernel import SimulationError  # local: avoid cycle at import
 
+        if sim._fast_dispatch:
+            return self._run_traced_batched(sim, until)
         if sim._running:
             raise SimulationError("run() is not reentrant")
         sim._running = True
@@ -284,6 +291,99 @@ class Tracer:
             if until is not None and until > sim.now:
                 sim.now = until
         finally:
+            sim._running = False
+        return sim.now
+
+    def _run_traced_batched(self, sim, until: Optional[int]) -> int:
+        """Instrumented copy of the batched ``Simulator.run`` loop.
+
+        Same two-phase structure — heap entries at the head timestamp
+        dispatch eagerly, same-time pushes land in ``batch`` and are
+        walked afterwards — with per-dispatch classification, wall-time
+        attribution, and (optionally) an instant record each, exactly
+        like the unbatched traced loop. Fire markers dispatch through
+        ``Timeout._fire`` (whose batch-append path preserves ordering),
+        so the claimed-timeout inlining in the untraced loop never
+        changes what a trace looks like.
+        """
+        from ..sim.kernel import SimulationError  # local: avoid cycle at import
+
+        if sim._running:
+            raise SimulationError("run() is not reentrant")
+        sim._running = True
+        queue = sim._queue
+        pop = heappop
+        perf = time.perf_counter_ns
+        classify = self._classify
+        wall = self.wall_ns
+        sites = self.wall_ns_sites
+        record_kernel = self.record_kernel
+        batch: list = []
+        index = -1
+        sim._batch = batch
+        try:
+            while queue:
+                event_time = queue[0][0]
+                if until is not None and event_time > until:
+                    break
+                sim.now = event_time
+                del batch[:]
+                index = -1
+                while True:
+                    entry = pop(queue)
+                    fn = entry[2]
+                    if entry[3] is None:
+                        # Fire marker: dispatch via Timeout._fire so
+                        # classification and ordering match the
+                        # generic loop record for record.
+                        fn = fn._fire
+                        args = ()
+                    else:
+                        args = entry[3]
+                    subsystem, site, actor = classify(fn)
+                    self.dispatches += 1
+                    if record_kernel:
+                        self.record(
+                            event_time, "i", "kernel", site, pid="kernel", tid=actor
+                        )
+                    started = perf()
+                    fn(*args)
+                    elapsed = perf() - started
+                    wall[subsystem] = wall.get(subsystem, 0) + elapsed
+                    sites[site] = sites.get(site, 0) + elapsed
+                    # Drop the dispatch reference before the next pop:
+                    # a claimed Timeout is pool-owned once fn() returns.
+                    del fn, args, entry
+                    if not queue or queue[0][0] != event_time:
+                        break
+                for index, (fn, args) in enumerate(batch):
+                    if args is None:
+                        fn = fn._fire
+                        args = ()
+                    subsystem, site, actor = classify(fn)
+                    self.dispatches += 1
+                    if record_kernel:
+                        self.record(
+                            event_time, "i", "kernel", site, pid="kernel", tid=actor
+                        )
+                    started = perf()
+                    fn(*args)
+                    elapsed = perf() - started
+                    wall[subsystem] = wall.get(subsystem, 0) + elapsed
+                    sites[site] = sites.get(site, 0) + elapsed
+                    del fn, args
+            if until is not None and until > sim.now:
+                sim.now = until
+        finally:
+            sim._batch = None
+            if index + 1 < len(batch):
+                # An exception escaped mid-batch: push the undispatched
+                # tail back so the queue state stays consistent (the
+                # entry that raised is consumed, like the generic loop).
+                for fn, args in batch[index + 1 :]:
+                    sim._sequence += 1
+                    heappush(queue, (sim.now, sim._sequence, fn, args))
+            del batch[:]
             sim._running = False
         return sim.now
 

@@ -12,7 +12,7 @@ Public surface:
   nanosecond arithmetic.
 """
 
-from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
+from .events import AllOf, AnyOf, Event, EventFailed, Hop, Interrupt, Timeout
 from .kernel import Process, SimulationError, Simulator
 from .resources import Resource, Store, TokenBucket
 
@@ -31,6 +31,7 @@ __all__ = [
     "SimulationError",
     "Event",
     "Timeout",
+    "Hop",
     "AnyOf",
     "AllOf",
     "EventFailed",

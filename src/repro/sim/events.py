@@ -34,6 +34,7 @@ from typing import Any, Callable, Iterable, List, Optional
 __all__ = [
     "Event",
     "Timeout",
+    "Hop",
     "AnyOf",
     "AllOf",
     "EventFailed",
@@ -170,8 +171,19 @@ class Timeout(Event):
         self.delay = delay
         self._tvalue = value
         self._proc = None
-        sim._sequence += 1
-        heappush(sim._queue, (sim.now + delay, sim._sequence, self._fire, ()))
+        if sim._fast_dispatch:
+            # Fast-dispatch arm: schedule a *fire marker* — the Timeout
+            # itself with ``None`` args — which the batched run loop
+            # recognizes and handles with Timeout._fire inlined, saving
+            # a Python call on the hottest dispatch in any run.
+            if delay == 0 and sim._batch is not None:
+                sim._batch.append((self, None))
+            else:
+                sim._sequence += 1
+                heappush(sim._queue, (sim.now + delay, sim._sequence, self, None))
+        else:
+            sim._sequence += 1
+            heappush(sim._queue, (sim.now + delay, sim._sequence, self._fire, ()))
 
     def _fire(self) -> None:
         """Scheduled trigger. If a process claimed this timeout (it
@@ -193,15 +205,22 @@ class Timeout(Event):
         self._value = value
         callbacks = self._callbacks
         sim = self.sim
-        sim._sequence += 1
+        batch = sim._batch
         # Resume via the queue (same timestamp, FIFO) exactly like the
-        # generic path; passing ``self`` lets the process recycle this
-        # timeout into the pool once the generator has been resumed.
+        # generic path — or, while the kernel is draining this
+        # timestamp's batch, append to it directly: the append lands in
+        # seq order, so dispatch order is unchanged. Passing ``self``
+        # lets the process recycle this timeout into the pool once the
+        # generator has been resumed.
         if callbacks:
             self._callbacks = None
-            heappush(
-                sim._queue, (sim.now, sim._sequence, proc._resume, (value, None))
-            )
+            if batch is not None:
+                batch.append((proc._resume, (value, None)))
+            else:
+                sim._sequence += 1
+                heappush(
+                    sim._queue, (sim.now, sim._sequence, proc._resume, (value, None))
+                )
             # Observers registered after the claim (rare): notify them
             # in registration order, after the process resume was
             # enqueued — the same order the generic path produces.
@@ -211,13 +230,36 @@ class Timeout(Event):
             # Keep the (empty) callback list: the instance is headed
             # for the pool and the rearm in Simulator.timeout reuses
             # it, skipping a list allocation per simulated delay.
-            heappush(
-                sim._queue, (sim.now, sim._sequence, proc._resume, (value, self))
-            )
+            if batch is not None:
+                batch.append((proc._resume, (value, self)))
+            else:
+                sim._sequence += 1
+                heappush(
+                    sim._queue, (sim.now, sim._sequence, proc._resume, (value, self))
+                )
 
     def __repr__(self) -> str:
         state = "triggered" if self._triggered else "pending"
         return f"<Timeout +{self.delay} {state}>"
+
+
+class Hop(Event):
+    """A zero-delay re-dispatch point.
+
+    Yielding a hop parks the process for exactly one event-queue hop at
+    the current timestamp — the same single ``(now, seq)`` resume push
+    a pre-triggered event produces — without allocating an event or
+    walking callbacks. It is the cheap way for an engine that already
+    *has* its next work item (e.g. via ``Store.try_get``) to keep the
+    dispatch interleaving identical to blocking on ``Store.get``:
+    same-time work queued by other actors still runs in between.
+
+    The instance never triggers and is reusable; get one via
+    :meth:`~repro.sim.kernel.Simulator.hop`. Yield it bare — composing
+    it into ``AnyOf``/``AllOf`` or adding callbacks will deadlock.
+    """
+
+    __slots__ = ()
 
 
 class _Condition(Event):

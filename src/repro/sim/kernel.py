@@ -34,11 +34,12 @@ Example
 from __future__ import annotations
 
 import heapq
+import os
 import random
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from .events import AllOf, AnyOf, Event, EventFailed, Interrupt, Timeout
+from .events import AllOf, AnyOf, Event, EventFailed, Hop, Interrupt, Timeout
 from ..obs.trace import TRACER
 
 __all__ = ["Simulator", "Process", "SimulationError"]
@@ -168,6 +169,21 @@ class Process(Event):
             target._proc = self
             self._waiting_on = target
             return
+        if target.__class__ is Hop:
+            # One queue hop at the current time: push the resume
+            # directly, exactly where a pre-triggered event's
+            # _on_event push would land. The hop itself never
+            # triggers and is shared — nothing to clean up.
+            sim = self.sim
+            batch = sim._batch
+            if batch is not None:
+                batch.append((self._resume, (None, None)))
+            else:
+                sim._sequence += 1
+                heappush(
+                    sim._queue, (sim.now, sim._sequence, self._resume, (None, None))
+                )
+            return
         if not isinstance(target, Event):
             self._throw(
                 SimulationError(
@@ -192,21 +208,28 @@ class Process(Event):
         # driver posting a receive must finish posting before the NIC
         # process that was blocked on that doorbell runs.)
         sim = self.sim
+        batch = sim._batch
         if event._ok:
-            sim._sequence += 1
-            heappush(
-                sim._queue,
-                (sim.now, sim._sequence, self._resume, (event._value, None)),
-            )
+            if batch is not None:
+                batch.append((self._resume, (event._value, None)))
+            else:
+                sim._sequence += 1
+                heappush(
+                    sim._queue,
+                    (sim.now, sim._sequence, self._resume, (event._value, None)),
+                )
         else:
             exc = event._value
             if not isinstance(exc, BaseException):
                 exc = EventFailed(exc)
-            sim._sequence += 1
-            heappush(
-                sim._queue,
-                (sim.now, sim._sequence, self._deferred_throw, (exc, None)),
-            )
+            if batch is not None:
+                batch.append((self._deferred_throw, (exc, None)))
+            else:
+                sim._sequence += 1
+                heappush(
+                    sim._queue,
+                    (sim.now, sim._sequence, self._deferred_throw, (exc, None)),
+                )
 
 
 class Simulator:
@@ -219,14 +242,18 @@ class Simulator:
         their own streams via :meth:`rng` so experiment results are
         reproducible regardless of construction order.
     fast_dispatch:
-        Enable the claimed-timeout fast path and timeout pooling
-        (default). Disabling it routes every event through the generic
-        trigger machinery; results are bit-for-bit identical either
-        way — the flag exists for the equivalence tests and as an
-        escape hatch.
+        Enable the claimed-timeout fast path, timeout pooling, and the
+        batched same-timestamp run loop (default). Disabling it routes
+        every event through the generic one-pop-at-a-time trigger
+        machinery; results are bit-for-bit identical either way — the
+        flag exists for the equivalence tests and as an escape hatch.
+        ``None`` (the default) reads the ``REPRO_FAST_DISPATCH``
+        environment variable (``0``/``false``/``no`` disable), which
+        lets sweep worker *processes* be flipped to the generic oracle
+        without plumbing the flag through every runner signature.
     """
 
-    def __init__(self, seed: int = 0, fast_dispatch: bool = True):
+    def __init__(self, seed: int = 0, fast_dispatch: Optional[bool] = None):
         self.now: int = 0
         self.seed = seed
         self._queue: list = []
@@ -234,8 +261,19 @@ class Simulator:
         self._running = False
         self._process_count = 0
         self._root_rng = random.Random(seed)
+        if fast_dispatch is None:
+            fast_dispatch = os.environ.get(
+                "REPRO_FAST_DISPATCH", "1"
+            ).lower() not in ("0", "false", "no")
         self._fast_dispatch = fast_dispatch
         self._timeout_pool: list = []
+        self._hop: Optional[Hop] = None
+        # Active same-timestamp dispatch batch (fast path only). While
+        # run() is draining one timestamp, every push targeting the
+        # current time appends here instead of touching the heap; the
+        # batch is dispatched in append order, which equals seq order,
+        # so interleavings match the generic path exactly.
+        self._batch: Optional[list] = None
         # Observability hook: None on the fast path. A tracer attaches
         # itself only to simulators constructed while tracing is
         # enabled (or via Tracer.install), so untraced runs never see
@@ -261,6 +299,19 @@ class Simulator:
         """Create a fresh pending :class:`Event`."""
         return Event(self, name=name)
 
+    def hop(self) -> Hop:
+        """The simulator's shared zero-delay re-dispatch point.
+
+        ``yield sim.hop()`` resumes the process after exactly one
+        event-queue hop at the current time — see
+        :class:`~repro.sim.events.Hop`. One instance is shared by all
+        processes; it is never triggered, only claimed per yield.
+        """
+        hop = self._hop
+        if hop is None:
+            hop = self._hop = Hop(self, "hop")
+        return hop
+
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` ns from now.
 
@@ -268,11 +319,14 @@ class Simulator:
         :class:`~repro.sim.events.Timeout` for the (kernel-owned
         once yielded bare) ownership rule.
         """
+        # Validate once, before the pool check: both the pooled and the
+        # cold construction path must reject the same inputs, or the
+        # same call site raises or not depending on pool state.
+        delay = int(delay)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
         pool = self._timeout_pool
         if pool:
-            delay = int(delay)
-            if delay < 0:
-                raise ValueError(f"negative timeout delay: {delay}")
             timeout = pool.pop()
             # Pooled instances arrive from Timeout._fire's claimed
             # path, which guarantees _proc is None, _ok is True, and
@@ -281,13 +335,18 @@ class Simulator:
             timeout._triggered = False
             timeout.delay = delay
             timeout._tvalue = value
-            self._sequence += 1
-            heappush(
-                self._queue,
-                (self.now + delay, self._sequence, timeout._fire, ()),
-            )
+            # The pool only fills on the fast path, so rearms always
+            # schedule the batched loop's fire marker (timeout, None).
+            if delay == 0 and self._batch is not None:
+                self._batch.append((timeout, None))
+            else:
+                self._sequence += 1
+                heappush(
+                    self._queue,
+                    (self.now + delay, self._sequence, timeout, None),
+                )
             return timeout
-        return Timeout(self, int(delay), value)
+        return Timeout(self, delay, value)
 
     def _recycle_timeout(self, timeout: Timeout) -> None:
         """Return a consumed fast-path timeout to the pool."""
@@ -316,6 +375,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now={self.now}"
             )
+        if time == self.now and self._batch is not None:
+            self._batch.append((fn, args))
+            return
         self._sequence += 1
         heappush(self._queue, (time, self._sequence, fn, args))
 
@@ -323,18 +385,33 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` ns."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
+        delay = int(delay)
+        if delay == 0 and self._batch is not None:
+            self._batch.append((fn, args))
+            return
         self._sequence += 1
-        heappush(self._queue, (self.now + int(delay), self._sequence, fn, args))
+        heappush(self._queue, (self.now + delay, self._sequence, fn, args))
 
     def _schedule_call(self, delay: int, fn: Callable, a: Any, b: Any) -> None:
+        delay = int(delay)
+        if delay == 0 and self._batch is not None:
+            self._batch.append((fn, (a, b)))
+            return
         self._sequence += 1
-        heappush(self._queue, (self.now + int(delay), self._sequence, fn, (a, b)))
+        heappush(self._queue, (self.now + delay, self._sequence, fn, (a, b)))
 
     def _schedule_trigger(self, delay: int, event: Event, value: Any) -> None:
+        delay = int(delay)
+        if delay == 0 and self._batch is not None:
+            self._batch.append((event.succeed, (value,)))
+            return
         self._sequence += 1
-        heappush(self._queue, (self.now + int(delay), self._sequence, event.succeed, (value,)))
+        heappush(self._queue, (self.now + delay, self._sequence, event.succeed, (value,)))
 
     def _push(self, time: int, fn: Callable, args: tuple) -> None:
+        if time == self.now and self._batch is not None:
+            self._batch.append((fn, args))
+            return
         self._sequence += 1
         heappush(self._queue, (time, self._sequence, fn, args))
 
@@ -346,6 +423,15 @@ class Simulator:
         Returns the final value of :attr:`now`. When ``until`` is given
         the clock is advanced exactly to it even if the last event fired
         earlier, so back-to-back ``run(until=...)`` calls tile time.
+
+        The fast path dispatches in *same-timestamp batches*: all heap
+        entries sharing the head timestamp are popped into a local list
+        and dispatched by index, and pushes targeting the current time
+        (claimed-timeout resumes, zero-delay calls) append to that list
+        instead of round-tripping through the heap. Appends happen in
+        seq-assignment order, so the dispatch order is identical to the
+        one-pop-at-a-time generic loop (``fast_dispatch=False``), which
+        is kept verbatim below as the equivalence oracle.
         """
         obs = self._obs
         if obs is not None and obs.enabled:
@@ -354,6 +440,114 @@ class Simulator:
             return obs.run_traced(self, until)
         if self._running:
             raise SimulationError("run() is not reentrant")
+        if not self._fast_dispatch:
+            return self._run_generic(until)
+        self._running = True
+        queue = self._queue
+        pop = heappop
+        batch: list = []
+        index = -1
+        # The batch stays installed across timestamps: between batches
+        # no user code runs, so nothing can push while it is "idle".
+        self._batch = batch
+        try:
+            while queue:
+                time = queue[0][0]
+                if until is not None and time > until:
+                    break
+                self.now = time
+                del batch[:]
+                index = -1
+                # Phase 1: pop-and-dispatch every heap entry at this
+                # timestamp. All of them carry seqs assigned before any
+                # dispatch below runs, so they precede every same-time
+                # push made during dispatch — which lands in ``batch``
+                # (phase 2), in push order. That is exactly the generic
+                # loop's (time, seq) order.
+                while True:
+                    entry = pop(queue)
+                    args = entry[3]
+                    if args is None:
+                        # Claimed-timeout fire marker: entry[2] is the
+                        # Timeout itself and this is Timeout._fire
+                        # inlined — the single hottest dispatch in any
+                        # run, worth skipping a Python call for.
+                        timeout = entry[2]
+                        proc = timeout._proc
+                        value = timeout._tvalue
+                        if proc is None:
+                            timeout.succeed(value)
+                        elif proc._waiting_on is not timeout:
+                            timeout._proc = None
+                            timeout.succeed(value)
+                        else:
+                            timeout._proc = None
+                            proc._waiting_on = None
+                            timeout._triggered = True
+                            timeout._value = value
+                            callbacks = timeout._callbacks
+                            if callbacks:
+                                timeout._callbacks = None
+                                batch.append((proc._resume, (value, None)))
+                                for callback in callbacks:
+                                    callback(timeout)
+                            else:
+                                batch.append((proc._resume, (value, timeout)))
+                    else:
+                        entry[2](*args)
+                    if not queue or queue[0][0] != time:
+                        break
+                # Phase 2: walk the same-time pushes. List iteration
+                # picks up entries appended mid-walk, so work scheduled
+                # for the current time during dispatch runs in this
+                # same batch, in push order.
+                for index, (fn, args) in enumerate(batch):
+                    if args is None:
+                        timeout = fn
+                        proc = timeout._proc
+                        value = timeout._tvalue
+                        if proc is None:
+                            timeout.succeed(value)
+                        elif proc._waiting_on is not timeout:
+                            timeout._proc = None
+                            timeout.succeed(value)
+                        else:
+                            timeout._proc = None
+                            proc._waiting_on = None
+                            timeout._triggered = True
+                            timeout._value = value
+                            callbacks = timeout._callbacks
+                            if callbacks:
+                                timeout._callbacks = None
+                                batch.append((proc._resume, (value, None)))
+                                for callback in callbacks:
+                                    callback(timeout)
+                            else:
+                                batch.append((proc._resume, (value, timeout)))
+                    else:
+                        fn(*args)
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._batch = None
+            if index + 1 < len(batch):
+                # An exception escaped mid-batch: push the undispatched
+                # tail back so the queue state stays consistent (the
+                # entry that raised is consumed, like the generic loop).
+                for fn, args in batch[index + 1 :]:
+                    self._sequence += 1
+                    heappush(queue, (self.now, self._sequence, fn, args))
+            del batch[:]
+            self._running = False
+        return self.now
+
+    def _run_generic(self, until: Optional[int]) -> int:
+        """The unbatched event loop: pop one entry, dispatch, repeat.
+
+        This is the dispatch oracle — ``fast_dispatch=False`` runs it,
+        and the batched loop above must produce bit-for-bit identical
+        event orderings (asserted by the equivalence tests).
+        """
         self._running = True
         queue = self._queue
         pop = heappop

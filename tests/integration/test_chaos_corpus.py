@@ -1,0 +1,40 @@
+"""Replay the checked-in chaos regression corpus.
+
+``corpus/chaos/regressions.txt`` holds shrunk fault plans and pinned
+compound scenarios — minimal reproductions the sweep layer has reduced
+(see the corpus header). Regular CI replays every spec against the
+real invariants; the nightly long-fuzz job is what *grows* the file.
+Each spec is one test case so a regression names its exact plan.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults.sweep import parse_replay, run_replay
+
+CORPUS = Path(__file__).resolve().parents[2] / "corpus" / "chaos" / "regressions.txt"
+
+
+def corpus_specs():
+    specs = []
+    for line in CORPUS.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            specs.append(line)
+    return specs
+
+
+def test_corpus_exists_and_is_well_formed():
+    specs = corpus_specs()
+    assert specs, "empty corpus"
+    for spec in specs:
+        parse_replay(spec)  # raises on malformed entries
+    assert len(specs) == len(set(specs)), "duplicate corpus entries"
+
+
+@pytest.mark.parametrize("spec", corpus_specs())
+def test_corpus_spec_replays_green(spec):
+    report = run_replay(spec)
+    failed = [r.name for r in report.invariants if not r.ok]
+    assert report.passed, f"{spec}: invariants failed: {failed}"

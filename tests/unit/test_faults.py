@@ -317,6 +317,86 @@ class TestNicFaults:
         cqes = qp_a.send_cq.poll()
         assert cqes[0].status == WC_RETRY_EXCEEDED
 
+    def test_crash_voids_armed_wait_state(self, rig):
+        """Regression: WAIT state is on-NIC volatile. A WAIT armed
+        before a crash must not be satisfied by post-restart
+        completions (pre-fix, the threshold waiter survived
+        ``crash()`` in ``HwCq._threshold_waiters`` and its stale
+        ``wait_consumed`` reservation let the chained WQE fire)."""
+        sim, cluster, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        mr_a = a.dev.reg_mr(buf_a, AccessFlags.ALL_REMOTE)
+        # On host B: a second QP back to A, pre-loaded with a WAIT
+        # (threshold 2 on qp_b's recv CQ) chained to a WRITE.
+        qp_b2 = b.dev.create_qp(name="b2")
+        qp_a2 = a.dev.create_qp(name="a2")
+        qp_b2.connect(qp_a2)
+        buf_b.write(200, b"stale-fwd")
+        watched = qp_b.recv_cq
+        qp_b2.post_send(Wqe(opcode=Opcode.WAIT, compare=2, swap=watched.cqn))
+        qp_b2.post_send(
+            Wqe(
+                opcode=Opcode.WRITE,
+                flags=FLAG_SIGNALED,
+                length=9,
+                local_addr=buf_b.addr + 200,
+                remote_addr=buf_a.addr + 300,
+                rkey=mr_a.rkey,
+            )
+        )
+        sim.run(until=1 * MS)
+        # The WAIT is armed: it reserved two completions up front.
+        assert watched.wait_consumed == 2
+        assert watched.completions_total == 0
+        b.nic.crash()
+        # Crash reconciles the unfulfilled reservation.
+        assert watched.wait_consumed == watched.completions_total == 0
+        b.nic.restart()
+        # Drive two *post-restart* completions into the watched CQ
+        # (recv rings live in host memory and survived the crash).
+        qp_b.post_recv(Wqe(local_addr=buf_b.addr + 400, length=64))
+        qp_b.post_recv(Wqe(local_addr=buf_b.addr + 464, length=64))
+        qp_a.post_send(Wqe(opcode=Opcode.SEND, length=4, local_addr=buf_a.addr))
+        qp_a.post_send(Wqe(opcode=Opcode.SEND, length=4, local_addr=buf_a.addr))
+        run_until(sim, lambda: watched.completions_total >= 2)
+        sim.run(until=sim.now + 5 * MS)
+        # The pre-crash WAIT must not have fallen through: the chained
+        # WRITE never executed and never completed.
+        assert qp_b2.send_cq.completions_total == 0
+        assert a.nic.cache.read(buf_a.addr + 300, 9) == bytes(9)
+
+    def test_stall_preserves_armed_wait_state(self, rig):
+        """Counterpoint: ``stall()`` is a firmware hiccup — WAIT state
+        survives and fires once the NIC resumes and the threshold is
+        met."""
+        sim, cluster, a, b, qp_a, qp_b, buf_a, buf_b, mr_b = rig
+        mr_a = a.dev.reg_mr(buf_a, AccessFlags.ALL_REMOTE)
+        qp_b2 = b.dev.create_qp(name="b2")
+        qp_a2 = a.dev.create_qp(name="a2")
+        qp_b2.connect(qp_a2)
+        buf_b.write(200, b"live-fwd!")
+        watched = qp_b.recv_cq
+        qp_b2.post_send(Wqe(opcode=Opcode.WAIT, compare=1, swap=watched.cqn))
+        qp_b2.post_send(
+            Wqe(
+                opcode=Opcode.WRITE,
+                flags=FLAG_SIGNALED,
+                length=9,
+                local_addr=buf_b.addr + 200,
+                remote_addr=buf_a.addr + 300,
+                rkey=mr_a.rkey,
+            )
+        )
+        sim.run(until=1 * MS)
+        assert watched.wait_consumed == 1
+        b.nic.stall()
+        sim.run(until=sim.now + 1 * MS)
+        b.nic.resume()
+        assert watched.wait_consumed == 1, "stall must keep WAIT reservations"
+        qp_b.post_recv(Wqe(local_addr=buf_b.addr + 400, length=64))
+        qp_a.post_send(Wqe(opcode=Opcode.SEND, length=4, local_addr=buf_a.addr))
+        run_until(sim, lambda: qp_b2.send_cq.completions_total >= 1)
+        assert a.nic.cache.read(buf_a.addr + 300, 9) == b"live-fwd!"
+
 
 class TestRcEdgeCases:
     """Reply-cache bounds, retry-budget surfacing, post-ack dedup."""

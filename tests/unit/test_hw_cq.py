@@ -65,15 +65,18 @@ class TestChannel:
         event = cq.next_event()
         assert not event.triggered
         cq.push(cqe(7))
+        # Wake-then-poll: the value is the pending count, the CQE
+        # itself is claimed via poll().
         assert event.triggered
-        assert event.value.wr_id == 7
+        assert event.value == 1
+        assert cq.poll()[0].wr_id == 7
 
     def test_next_event_pretriggered_when_entries_pending(self):
         sim = Simulator()
         cq = HwCq(sim, 1)
         cq.push(cqe(9))
         event = cq.next_event()
-        assert event.triggered and event.value.wr_id == 9
+        assert event.triggered and event.value == 1
         # The entry is still there for poll().
         assert cq.poll()[0].wr_id == 9
 
@@ -84,6 +87,52 @@ class TestChannel:
         second = cq.next_event()
         cq.push(cqe())
         assert first.triggered and second.triggered
+
+    def test_second_waiter_never_handed_a_drained_cqe(self):
+        """Regression (pre-fix: the chained waiter got ``chan.value``,
+        a CQE the first waiter may already have polled — a stale
+        duplicate delivery)."""
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        first = cq.next_event()
+        second = cq.next_event()
+        cq.push(cqe(7))
+        # First consumer drains the CQ before the second looks.
+        drained = cq.poll()
+        assert [c.wr_id for c in drained] == [7]
+        assert second.triggered
+        assert not isinstance(second.value, Cqe)
+        # The second consumer polls and correctly finds nothing; it
+        # must not have been handed wr_id=7 through the event value.
+        assert cq.poll() == []
+
+    def test_two_concurrent_consumers_no_duplicate_delivery(self):
+        """Two processes blocked on one CQ: every CQE is consumed
+        exactly once, whichever consumer wins the poll race."""
+        sim = Simulator()
+        cq = HwCq(sim, 1)
+        seen = []
+
+        def consumer(label):
+            while len(seen) < 3:
+                event = cq.next_event()
+                if not event.triggered:
+                    yield event
+                for entry in cq.poll():
+                    seen.append((label, entry.wr_id))
+                yield sim.timeout(1)
+
+        sim.spawn(consumer("a"))
+        sim.spawn(consumer("b"))
+
+        def producer():
+            for index in range(3):
+                yield sim.timeout(5)
+                cq.push(cqe(index))
+
+        sim.spawn(producer())
+        sim.run(until=200)
+        assert sorted(wr_id for _label, wr_id in seen) == [0, 1, 2]
 
 
 class TestWaitConsumption:

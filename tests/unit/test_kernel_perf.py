@@ -206,6 +206,30 @@ class TestTimeoutPooling:
         with pytest.raises(ValueError):
             sim.timeout(-1)
 
+    def test_negative_delay_rejected_on_cold_path(self):
+        """Regression: the same call site must raise (or not)
+        regardless of pool state — validation happens once, before
+        the pool check."""
+        sim = Simulator()
+        assert not sim._timeout_pool  # cold construction path
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+        # ...and nothing was scheduled by the rejected call.
+        assert not sim._queue
+
+    def test_negative_delay_rejected_in_generic_mode(self):
+        sim = Simulator(fast_dispatch=False)
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+        def proc():
+            yield sim.timeout(1)
+
+        sim.spawn(proc())
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
 
 class TestEventSlots:
     def test_event_has_no_dict(self):

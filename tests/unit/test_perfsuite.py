@@ -6,7 +6,7 @@ single-core host must be *flagged*, never asserted on — the PR-1
 it actually measured.
 """
 
-from repro.bench.perfsuite import annotate_parallel_entry
+from repro.bench.perfsuite import annotate_parallel_entry, bench_nic_hotpath
 
 SCALING = {
     "runs": 4,
@@ -42,3 +42,14 @@ class TestAnnotateParallelEntry:
     def test_multi_core_entry_carries_no_flag(self):
         entry = annotate_parallel_entry(SCALING, cpu_count=4)
         assert "speedup_flag" not in entry
+
+
+class TestNicHotpathBench:
+    def test_completes_all_ops_and_is_deterministic(self):
+        # Tiny sizing: this is a correctness check of the harness, not
+        # a timing assertion (timing on shared runners is noise).
+        first = bench_nic_hotpath(n_ops=64, burst=8)
+        second = bench_nic_hotpath(n_ops=64, burst=8)
+        assert first["ops"] == second["ops"] == 64
+        assert first["final_now"] == second["final_now"]
+        assert first["wqe_per_sec"] > 0
