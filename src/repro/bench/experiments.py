@@ -14,7 +14,7 @@ count as a parameter so a longer run is one argument away.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..baseline import NaiveGroup
 from ..core import HyperLoopGroup
@@ -100,7 +100,12 @@ class MicrobenchResult:
     samples_ns: List[int] = field(default_factory=list)
     """Raw per-op latencies (ns). Lets sweep merging be sample-exact
     (:func:`repro.bench.parallel.merge_run_stats`); empty for
-    experiments that only measure aggregates (throughput)."""
+    experiments that only measure aggregates (throughput) and for runs
+    large enough to ship :attr:`sketch` instead."""
+    sketch: Optional[Dict] = None
+    """Mergeable percentile sketch (``PercentileSketch.to_dict()``),
+    shipped in place of ``samples_ns`` above
+    :data:`~repro.bench.sketch.SKETCH_THRESHOLD` samples."""
 
 
 def microbench_latency(
@@ -128,6 +133,27 @@ def microbench_latency(
     """
     if primitive not in ("gwrite", "gmemcpy", "gcas"):
         raise ValueError(f"unknown primitive {primitive!r}")
+    from ..sim.shard import maybe_contained
+
+    contained = maybe_contained(
+        "repro.bench.experiments:microbench_latency",
+        dict(
+            system=system,
+            primitive=primitive,
+            message_size=message_size,
+            group_size=group_size,
+            n_ops=n_ops,
+            stress_per_core=stress_per_core,
+            n_cores=n_cores,
+            durable=durable,
+            pipeline_depth=pipeline_depth,
+            rounds=rounds,
+            seed=seed,
+            deadline_ms=deadline_ms,
+        ),
+    )
+    if contained is not None:
+        return contained[0]
     sim = Simulator(seed=seed)
     cluster = Cluster(sim, n_hosts=group_size + 1, n_cores=n_cores)
     replicas = cluster.hosts[1 : group_size + 1]
@@ -174,6 +200,7 @@ def microbench_latency(
     ]
     _run_workload(sim, workers, lambda: state["running"] == 0, deadline_ms)
     cpu_fraction = _group_cpu_fraction(group, sim.now - time0)
+    samples, sketch = recorder.ship()
     return MicrobenchResult(
         system=system,
         primitive=primitive,
@@ -182,7 +209,8 @@ def microbench_latency(
         stats=recorder.stats(),
         replica_cpu_fraction=cpu_fraction,
         errors=list(group.errors),
-        samples_ns=list(recorder.samples_ns),
+        samples_ns=samples,
+        sketch=sketch,
     )
 
 
@@ -200,6 +228,24 @@ def microbench_throughput(
     """§6.1 throughput benchmark (Figure 9): write ``total_bytes`` in
     ``message_size`` chunks with ``pipeline_depth`` concurrent client
     workers; report Kops/s and replica critical-path CPU."""
+    from ..sim.shard import maybe_contained
+
+    contained = maybe_contained(
+        "repro.bench.experiments:microbench_throughput",
+        dict(
+            system=system,
+            message_size=message_size,
+            total_bytes=total_bytes,
+            group_size=group_size,
+            pipeline_depth=pipeline_depth,
+            n_cores=n_cores,
+            stress_per_core=stress_per_core,
+            seed=seed,
+            deadline_ms=deadline_ms,
+        ),
+    )
+    if contained is not None:
+        return contained[0]
     sim = Simulator(seed=seed)
     cluster = Cluster(sim, n_hosts=group_size + 1, n_cores=n_cores)
     replicas = cluster.hosts[1 : group_size + 1]

@@ -1,0 +1,308 @@
+"""Mesh message-exchange program for the sharded engine.
+
+A host-per-clique all-to-all workload built to be *partitionable
+without observable reordering*: every host precomputes its send
+schedule from a label-derived RNG stream (identical whichever shard
+builds it), receives into a passive inbox, and only acts on inbox
+entries **strictly older than the current time** in a canonical sorted
+order. Same-timestamp interleaving — the one degree of freedom a
+sharded run has relative to the single-process oracle — is therefore
+unobservable, and every report field (logs, counters, finish times)
+is bit-identical at any shard count. That property is what
+``tests/integration/test_shard_equivalence.py`` asserts and what the
+``shard-equivalence`` CI job byte-diffs.
+
+The program doubles as the scaling benchmark for ``bench --shards``:
+hosts are independent event sources, so per-shard event rates and
+sync-round counts measure exactly the coordination overhead of the
+conservative window protocol (see ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, List, Tuple
+
+from ..hw.network import Fabric
+from ..sim.shard import Clique, ShardProgram
+from .harness import format_table
+
+__all__ = ["MESH_PROGRAM", "mesh_params"]
+
+_ACK_BYTES = 32
+
+
+def mesh_params(
+    hosts: int = 12,
+    messages: int = 40,
+    gap_min_ns: int = 300,
+    gap_max_ns: int = 900,
+    poll_gap_ns: int = 700,
+    group_size: int = 1,
+    remote_permille: int = 100,
+) -> Dict[str, Any]:
+    """Canonical parameter dict (all knobs explicit, so renders and
+    digests are a pure function of it).
+
+    ``group_size`` clusters hosts into replication-group-style cliques:
+    a host sends within its group except with probability
+    ``remote_permille``/1000, when it picks a uniform host outside it.
+    ``group_size=1`` degenerates to the uniform all-to-all mesh (every
+    destination is "remote"), the worst case for shard locality.
+    """
+    if hosts < 2:
+        raise ValueError("mesh needs at least 2 hosts")
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if not 0 <= remote_permille <= 1000:
+        raise ValueError("remote_permille must be in [0, 1000]")
+    return {
+        "hosts": hosts,
+        "messages": messages,
+        "gap_min_ns": gap_min_ns,
+        "gap_max_ns": gap_max_ns,
+        "poll_gap_ns": poll_gap_ns,
+        "group_size": group_size,
+        "remote_permille": remote_permille,
+    }
+
+
+def _host_names(params: Dict[str, Any]) -> List[str]:
+    return [f"n{index:03d}" for index in range(params["hosts"])]
+
+
+def _group_members(params: Dict[str, Any]) -> List[List[str]]:
+    names = _host_names(params)
+    size = params.get("group_size", 1)
+    return [names[start : start + size] for start in range(0, len(names), size)]
+
+
+def _cliques(params: Dict[str, Any]) -> List[Clique]:
+    # One clique per replication group: the partitioner keeps a group's
+    # hosts on one shard, so only the remote_permille tail of traffic
+    # ever crosses a shard boundary.
+    return [
+        Clique(f"g{index:03d}", tuple(members), len(members))
+        for index, members in enumerate(_group_members(params))
+    ]
+
+
+def _schedule(seed: int, name: str, group: List[str], remote: List[str], params):
+    """One host's full send schedule, from its label-derived stream.
+
+    Depends only on ``(seed, name, params)`` — never on shard layout
+    or arrival order — and is computed for *every* host on *every*
+    shard so expected receive counts are known locally. The stream is
+    the same ``Simulator.rng`` label construction, spelled out so the
+    schedule is computable without a simulator (the prepare hook runs
+    before any shard's simulator exists).
+    """
+    rng = random.Random(f"{seed}/mesh/{name}")
+    local = [other for other in group if other != name]
+    permille = params.get("remote_permille", 100)
+    entries = []
+    t = 0
+    for index in range(params["messages"]):
+        t += rng.randrange(params["gap_min_ns"], params["gap_max_ns"] + 1)
+        if local and remote:
+            pool = remote if rng.randrange(1000) < permille else local
+        else:
+            pool = remote or local
+        dst = pool[rng.randrange(len(pool))]
+        nbytes = rng.randrange(64, 1024)
+        entries.append((t, dst, f"{name}:{index}", nbytes))
+    return entries
+
+
+class _Node:
+    """One mesh host: passive inbox, drain-strictly-before-now loop."""
+
+    __slots__ = (
+        "name", "port", "schedule", "expected", "inbox", "log",
+        "sent", "served", "acked", "finish_ns",
+    )
+
+    def __init__(self, name, port, schedule, expected):
+        self.name = name
+        self.port = port
+        self.schedule = schedule
+        self.expected = expected
+        self.inbox: list = []
+        self.log: List[str] = []
+        self.sent = 0
+        self.served = 0
+        self.acked = 0
+        self.finish_ns = 0
+
+    def on_receive(self, src: str, payload) -> None:
+        # Delivery-time work is append-only: nothing is read, sent, or
+        # decided here, so the order of same-timestamp deliveries
+        # cannot influence anything observable.
+        self.inbox.append((self.port.fabric.sim.now, payload[0], src, payload[1]))
+
+    def run(self, sim, fabric, poll_gap):
+        cursor = 0
+        while True:
+            now = sim.now
+            # Drain every arrival strictly older than now, in canonical
+            # order — ties across sources resolve identically whatever
+            # order the fabric (or a peer shard) appended them in.
+            due = sorted(
+                (entry for entry in self.inbox if entry[0] < now),
+                key=lambda e: (e[0], e[1], e[2], e[3]),
+            )
+            if due:
+                self.inbox = [entry for entry in self.inbox if entry[0] >= now]
+                for ts, kind, src, msg_id in due:
+                    if kind == "req":
+                        self.log.append(f"{ts} recv {src} {msg_id}")
+                        self.served += 1
+                        fabric.send(self.name, src, ("ack", msg_id), _ACK_BYTES)
+                    else:
+                        self.log.append(f"{ts} ack {msg_id}")
+                        self.acked += 1
+            while cursor < len(self.schedule) and self.schedule[cursor][0] <= now:
+                _t, dst, msg_id, nbytes = self.schedule[cursor]
+                cursor += 1
+                self.log.append(f"{now} sent {dst} {msg_id}")
+                self.sent += 1
+                fabric.send(self.name, dst, ("req", msg_id, nbytes), nbytes)
+            if (
+                self.sent == len(self.schedule)
+                and self.acked == len(self.schedule)
+                and self.served == self.expected
+            ):
+                self.finish_ns = now
+                return
+            # Next wakeup depends only on the clock and the schedule —
+            # never on arrivals — so the wake sequence is fixed.
+            if cursor < len(self.schedule):
+                delay = min(self.schedule[cursor][0] - now, poll_gap)
+            else:
+                delay = poll_gap
+            yield sim.timeout(max(1, delay))
+
+
+_SCHEDULE_CACHE: Dict[Tuple[int, Tuple], Tuple[Dict, Dict]] = {}
+
+
+def _schedules(seed: int, params: Dict[str, Any]) -> Tuple[Dict, Dict]:
+    """All hosts' schedules plus expected receive counts, memoized.
+
+    Every shard needs every host's schedule (a node's termination
+    condition counts expected requests), so without memoization an
+    N-shard run recomputes the full set N times. The coordinator
+    primes this cache via the program's ``prepare`` hook before
+    forking, and workers inherit it copy-on-write. One entry is kept:
+    a run uses exactly one ``(seed, params)`` point.
+    """
+    key = (seed, tuple(sorted(params.items())))
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is None:
+        groups = _group_members(params)
+        group_of = {name: members for members in groups for name in members}
+        all_hosts = _host_names(params)
+        remote_of = {
+            id(members): [o for o in all_hosts if o not in members]
+            for members in groups
+        }
+        schedules = {
+            name: _schedule(
+                seed, name, group_of[name], remote_of[id(group_of[name])], params
+            )
+            for name in all_hosts
+        }
+        expected = {name: 0 for name in all_hosts}
+        for entries in schedules.values():
+            for _t, dst, _msg_id, _nbytes in entries:
+                expected[dst] += 1
+        cached = (schedules, expected)
+        _SCHEDULE_CACHE.clear()
+        _SCHEDULE_CACHE[key] = cached
+    return cached
+
+
+def _prepare(seed: int, params: Dict[str, Any]) -> None:
+    _schedules(seed, params)
+
+
+def _build(sim, local: List[str], all_hosts: List[str], params: Dict[str, Any]):
+    fabric = Fabric(sim)
+    local_set = set(local)
+    for name in all_hosts:
+        if name not in local_set:
+            fabric.attach_boundary(name)
+    schedules, expected = _schedules(sim.seed, params)
+    nodes = {}
+    for name in local:
+        port = fabric.attach(name)
+        node = _Node(name, port, schedules[name], expected[name])
+        port.receive = node.on_receive
+        nodes[name] = node
+        sim.spawn(node.run(sim, fabric, params["poll_gap_ns"]), name=f"mesh.{name}")
+    return fabric, {"nodes": nodes, "fabric": fabric}
+
+
+def _report(state) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for name, node in state["nodes"].items():
+        digest = hashlib.sha256("\n".join(node.log).encode()).hexdigest()
+        out[name] = {
+            "sent": node.sent,
+            "served": node.served,
+            "acked": node.acked,
+            "finish_ns": node.finish_ns,
+            "digest": digest,
+            "tx": node.port.tx_messages,
+            "tx_bytes": node.port.tx_bytes,
+            "rx": node.port.rx_messages,
+        }
+    return out
+
+
+def _merge(reports: List[Dict[str, Any]]) -> Dict[str, Any]:
+    merged: Dict[str, Any] = {}
+    for report in reports:
+        merged.update(report)  # hosts are disjoint across shards
+    return merged
+
+
+def _render(report: Dict[str, Any], params: Dict[str, Any]) -> str:
+    columns = ["host", "sent", "served", "acked", "finish_ns", "tx_bytes", "digest"]
+    rows = []
+    for name in sorted(report):
+        row = report[name]
+        rows.append(
+            [
+                name,
+                row["sent"],
+                row["served"],
+                row["acked"],
+                row["finish_ns"],
+                row["tx_bytes"],
+                row["digest"][:12],
+            ]
+        )
+    title = (
+        f"mesh hosts={params['hosts']} messages={params['messages']} "
+        f"group={params.get('group_size', 1)} "
+        f"remote={params.get('remote_permille', 100)}/1000 "
+        f"gap={params['gap_min_ns']}-{params['gap_max_ns']}ns"
+    )
+    table = format_table(title, columns, rows)
+    global_digest = hashlib.sha256(
+        "\n".join(report[name]["digest"] for name in sorted(report)).encode()
+    ).hexdigest()
+    return f"{table}\nglobal digest: {global_digest}"
+
+
+MESH_PROGRAM = ShardProgram(
+    name="mesh",
+    cliques=_cliques,
+    build=_build,
+    report=_report,
+    merge=_merge,
+    render=_render,
+    prepare=_prepare,
+)

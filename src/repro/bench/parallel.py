@@ -33,7 +33,9 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from .harness import LatencyRecorder, LatencyStats, merge_stats
+from ..sim.shard import apply_repro_env, capture_repro_env
+from .harness import LatencyRecorder, LatencyStats, merge_stats, stats_from_sketch
+from .sketch import PercentileSketch
 
 __all__ = [
     "RUNNERS",
@@ -221,7 +223,16 @@ def run_parallel(
     # chunksize=1: sweep points have wildly uneven runtimes (a 10:1
     # tenancy config simulates far more events than an unloaded one),
     # so fine-grained dispatch is what keeps the pool busy.
-    with context.Pool(processes=min(workers, len(specs))) as pool:
+    # The initializer mirrors every REPRO_* variable into the workers:
+    # under spawn (or an env mutated after import) the pool would
+    # otherwise silently drop REPRO_FAST_DISPATCH / REPRO_SHARDS, and
+    # "flip the whole sweep to the oracle engine with one env var"
+    # is the contract INTERNALS documents.
+    with context.Pool(
+        processes=min(workers, len(specs)),
+        initializer=apply_repro_env,
+        initargs=(capture_repro_env(),),
+    ) as pool:
         return pool.map(_execute, specs, chunksize=1)
 
 
@@ -236,26 +247,41 @@ def merge_run_stats(results: Iterable[RunResult]) -> LatencyStats:
     Runs that only ship summaries fall back to the count-weighted
     :func:`~repro.bench.harness.merge_stats` approximation.
 
-    Order-independent either way. Runs without latency stats (e.g.
-    pure-throughput outputs) are skipped; raises if nothing remains.
+    Large runs ship a mergeable percentile sketch instead of raw
+    samples (``output["sketch"]``, see :mod:`repro.bench.sketch`);
+    when any contributing run did, every part — raw arrays included —
+    is folded into one sketch **in result order** (sketch merging is
+    deterministic but not associative, so the fixed fold order is what
+    keeps merged output independent of worker count) and the summary
+    comes from the merged sketch.
+
+    Order-independent on the exact paths. Runs without latency stats
+    (e.g. pure-throughput outputs) are skipped; raises if nothing
+    remains.
     """
     parts: List[LatencyStats] = []
     sample_lists: List[List[int]] = []
+    sketch_parts: List[Any] = []  # per-result: samples list or sketch dict
+    any_sketch = False
     exact = True
     for result in results:
         stats = result.stats_dict()
         if not (stats and stats.get("count")):
             continue
         parts.append(LatencyStats(**stats))
-        samples = (
-            result.output.get("samples_ns")
-            if isinstance(result.output, dict)
-            else None
-        )
-        if samples and len(samples) == stats["count"]:
+        output = result.output if isinstance(result.output, dict) else {}
+        samples = output.get("samples_ns")
+        sketch = output.get("sketch")
+        if sketch:
+            any_sketch = True
+            exact = False
+            sketch_parts.append(sketch)
+        elif samples and len(samples) == stats["count"]:
             sample_lists.append(samples)
+            sketch_parts.append(samples)
         else:
             exact = False
+            sketch_parts.append(None)
     if not parts:
         raise ValueError("no run carried latency stats")
     if exact and sample_lists:
@@ -266,4 +292,12 @@ def merge_run_stats(results: Iterable[RunResult]) -> LatencyStats:
             part._sum_ns = sum(samples)
             merged.merge(part)
         return merged.stats()
+    if any_sketch and all(part is not None for part in sketch_parts):
+        merged_sketch = PercentileSketch()
+        for part in sketch_parts:
+            if isinstance(part, dict):
+                merged_sketch.merge(PercentileSketch.from_dict(part))
+            else:
+                merged_sketch.add_samples(part)
+        return stats_from_sketch(merged_sketch)
     return merge_stats(parts)

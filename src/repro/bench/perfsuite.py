@@ -41,7 +41,9 @@ __all__ = [
     "bench_fig8",
     "bench_fig8_traced",
     "bench_parallel_scaling",
+    "bench_sharded",
     "annotate_parallel_entry",
+    "annotate_sharded_entry",
     "run_suite",
     "write_history",
     "main",
@@ -265,6 +267,130 @@ def bench_parallel_scaling(
     }
 
 
+def bench_sharded(
+    hosts: int = 320,
+    messages: int = 80,
+    shard_counts=(2, 4),
+    seed: int = 9,
+    group_size: int = 8,
+    remote_permille: int = 50,
+) -> Dict[str, Any]:
+    """The sharded engine vs its single-process oracle on the mesh
+    program (:mod:`repro.bench.mesh`).
+
+    Every sharded layout must render byte-identically to the oracle —
+    that is asserted, not just recorded. Timing-wise the interesting
+    numbers are per-shard event rates, sync-round counts, and (on a
+    single-core host) the coordination overhead of the window
+    protocol: worker spawn plus one pipe round-trip per conservative
+    window.
+
+    The default configuration is group-structured (replication-group
+    cliques with a 5% remote tail) rather than uniform all-to-all:
+    that is the paper's traffic shape, it exercises the partitioner's
+    clique constraint, and it keeps the measurement dominated by the
+    protocol rather than by boundary-message shipping.
+    """
+    from ..sim.shard import run_oracle, run_sharded
+    from .mesh import mesh_params
+
+    params = mesh_params(
+        hosts=hosts,
+        messages=messages,
+        group_size=group_size,
+        remote_permille=remote_permille,
+    )
+    started = time.perf_counter()
+    oracle = run_oracle("mesh", seed=seed, params=params)
+    oracle_s = time.perf_counter() - started
+    runs: Dict[int, Dict[str, Any]] = {}
+    for shards in shard_counts:
+        started = time.perf_counter()
+        run = run_sharded("mesh", shards, seed=seed, params=params)
+        wall = time.perf_counter() - started
+        if run.rendered != oracle.rendered:
+            raise AssertionError(
+                f"{shards}-shard mesh run diverged from the oracle"
+            )
+        runs[shards] = {
+            "wall_s": wall,
+            "sync_rounds": run.sync_rounds,
+            "per_shard": [
+                {
+                    "shard": stats["shard"],
+                    "hosts": stats["hosts"],
+                    "events": stats["events"],
+                    "events_per_sec": (
+                        round(stats["events"] / stats["wall_s"])
+                        if stats["wall_s"] > 0
+                        else 0
+                    ),
+                }
+                for stats in run.shard_stats
+            ],
+        }
+    return {
+        "hosts": hosts,
+        "messages": messages,
+        "group_size": group_size,
+        "remote_permille": remote_permille,
+        "events": oracle.shard_stats[0]["events"],
+        "lookahead_ns": oracle.lookahead_ns,
+        "oracle_s": oracle_s,
+        "runs": runs,
+        "identical": True,
+        "wall_s": oracle_s + sum(run["wall_s"] for run in runs.values()),
+    }
+
+
+def annotate_sharded_entry(
+    sharded: Dict[str, Any], cpu_count: Optional[int]
+) -> Dict[str, Any]:
+    """Build the history entry's ``sharded`` block.
+
+    Same discipline as :func:`annotate_parallel_entry`: a speedup is
+    only meaningful with more than one CPU. On a single-core host the
+    shards time-share the core, so the honest number is *coordination
+    overhead* — sharded wall over oracle wall, minus one — which
+    measures what the window protocol costs, and is what the < 20%
+    acceptance bar applies to.
+    """
+    entry: Dict[str, Any] = {
+        "hosts": sharded["hosts"],
+        "messages": sharded["messages"],
+        "group_size": sharded.get("group_size", 1),
+        "remote_permille": sharded.get("remote_permille", 100),
+        "events": sharded["events"],
+        "lookahead_ns": sharded["lookahead_ns"],
+        "oracle_s": round(sharded["oracle_s"], 3),
+        "identical": sharded["identical"],
+        "cpu_count": cpu_count,
+        "shards": {},
+    }
+    single_core = (cpu_count or 1) <= 1
+    for shards, run in sorted(sharded["runs"].items()):
+        block = {
+            "wall_s": round(run["wall_s"], 3),
+            "sync_rounds": run["sync_rounds"],
+            "speedup": round(sharded["oracle_s"] / run["wall_s"], 2)
+            if run["wall_s"] > 0
+            else 0.0,
+            "per_shard": run["per_shard"],
+        }
+        if single_core:
+            block["coordination_overhead"] = round(
+                run["wall_s"] / sharded["oracle_s"] - 1.0, 3
+            )
+        entry["shards"][str(shards)] = block
+    if single_core:
+        entry["speedup_flag"] = (
+            "single-core host: shard workers time-share one CPU, so speedup "
+            "measures window-protocol overhead, not parallel scaling; see "
+            "coordination_overhead per shard count"
+        )
+    return entry
+
+
 def annotate_parallel_entry(
     scaling: Dict[str, Any], cpu_count: Optional[int]
 ) -> Dict[str, Any]:
@@ -338,6 +464,17 @@ def run_suite(
                 "parallel runner diverged from serial reference"
             )
         entry["parallel"] = annotate_parallel_entry(scaling, entry["cpu_count"])
+
+    sharded = _best(
+        lambda: bench_sharded(
+            hosts=48 if quick else 320,
+            messages=30 if quick else 80,
+            group_size=6 if quick else 8,
+            shard_counts=(2,) if quick else (2, 4),
+        ),
+        1 if quick else repeats,
+    )
+    entry["sharded"] = annotate_sharded_entry(sharded, entry["cpu_count"])
 
     if trace:
         traced = bench_fig8_traced(n_ops=30 if quick else 60)

@@ -1,0 +1,204 @@
+"""Mergeable percentile sketch for cross-process latency shipping.
+
+Sweep and shard workers used to pickle every raw latency sample back
+to the coordinator (``MicrobenchResult.samples_ns``); at shard-count ×
+seed × config scale that is megabytes of ints per sweep. This module
+is the classic t-digest construction (Dunning & Ertl) reduced to what
+the harness needs: a deterministic, mergeable summary whose tail
+percentiles are accurate to a fraction of a percent of rank.
+
+Policy (wired in :mod:`repro.bench.harness` /
+:mod:`repro.bench.parallel`): runs with at most
+:data:`SKETCH_THRESHOLD` samples still ship the raw array and merge
+sample-exactly; larger runs ship a sketch and the merged summary is a
+sketch merge. Either way the merge is performed in spec order — sketch
+merging is deterministic but not associative, so a fixed fold order is
+what keeps a sweep's merged stats independent of worker count.
+
+No randomness anywhere: compression is a single pass over
+weight-sorted centroids with the standard ``4·N·δ·q(1−q)`` size bound,
+so the same samples always produce byte-identical sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["PercentileSketch", "SKETCH_THRESHOLD"]
+
+SKETCH_THRESHOLD = 8192
+"""Sample-count ceiling for shipping raw arrays. At or below it the
+exact path is cheap and stays bit-exact; above it workers ship a
+sketch (~100 centroids) instead of the array."""
+
+_DEFAULT_DELTA = 0.01
+
+
+class PercentileSketch:
+    """A t-digest-style summary of a sample distribution.
+
+    Centroids are ``(mean, weight)`` pairs kept sorted by mean; a
+    centroid near quantile ``q`` may hold at most ``4·N·δ·q(1−q)``
+    samples, so resolution concentrates at the tails — exactly where
+    the paper's plots (p95/p99) live. ``count``/``sum``/``min``/``max``
+    are tracked exactly, so means are never approximated.
+    """
+
+    __slots__ = ("delta", "centroids", "count", "total", "minimum", "maximum")
+
+    def __init__(self, delta: float = _DEFAULT_DELTA):
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        self.delta = delta
+        self.centroids: List[Tuple[float, int]] = []
+        self.count = 0
+        self.total = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[int], delta: float = _DEFAULT_DELTA
+    ) -> "PercentileSketch":
+        sketch = cls(delta)
+        sketch.add_samples(samples)
+        return sketch
+
+    def add_samples(self, samples: Sequence[int]) -> None:
+        """Fold raw samples in (sorted internally; order-insensitive)."""
+        if not samples:
+            return
+        self.count += len(samples)
+        self.total += sum(samples)
+        ordered = sorted(samples)
+        if ordered[0] < self.minimum:
+            self.minimum = ordered[0]
+        if ordered[-1] > self.maximum:
+            self.maximum = ordered[-1]
+        self.centroids = self._compress(
+            _merge_sorted(self.centroids, [(float(v), 1) for v in ordered]),
+            self.count,
+        )
+
+    def merge(self, other: "PercentileSketch") -> None:
+        """Fold another sketch into this one.
+
+        Deterministic but **not associative**: callers that need
+        reproducible merged output must fold parts in a fixed order
+        (the harness always uses spec/result order).
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.centroids = self._compress(
+            _merge_sorted(self.centroids, other.centroids), self.count
+        )
+
+    def _compress(
+        self, centroids: List[Tuple[float, int]], count: int
+    ) -> List[Tuple[float, int]]:
+        """One merge pass over mean-sorted centroids.
+
+        Adjacent centroids combine while the union stays under the
+        quantile-scaled size bound. Pure function of the input order,
+        so identical inputs give identical sketches on every platform.
+        """
+        if not centroids:
+            return centroids
+        out: List[Tuple[float, int]] = []
+        cur_mean, cur_weight = centroids[0]
+        cumulative = 0  # samples fully to the left of the current centroid
+        for mean, weight in centroids[1:]:
+            q = (cumulative + (cur_weight + weight) / 2.0) / count
+            limit = 4.0 * count * self.delta * q * (1.0 - q)
+            if cur_weight + weight <= max(limit, 1.0):
+                merged = cur_weight + weight
+                cur_mean += (mean - cur_mean) * (weight / merged)
+                cur_weight = merged
+            else:
+                out.append((cur_mean, cur_weight))
+                cumulative += cur_weight
+                cur_mean, cur_weight = mean, weight
+        out.append((cur_mean, cur_weight))
+        return out
+
+    # -- queries -----------------------------------------------------------
+
+    def percentile(self, fraction: float) -> float:
+        """Estimate the ``fraction`` quantile (0 ≤ fraction ≤ 1).
+
+        Linear interpolation between centroid midpoints, clamped to
+        the exact observed min/max so extreme quantiles never
+        extrapolate.
+        """
+        if self.count == 0:
+            return math.nan
+        if self.count == 1 or len(self.centroids) == 1:
+            return self.centroids[0][0]
+        target = fraction * self.count
+        cumulative = 0.0
+        prev_mid = 0.0
+        prev_mean = float(self.minimum)
+        for mean, weight in self.centroids:
+            mid = cumulative + weight / 2.0
+            if target <= mid:
+                span = mid - prev_mid
+                t = (target - prev_mid) / span if span > 0 else 0.0
+                value = prev_mean + (mean - prev_mean) * t
+                return min(max(value, self.minimum), self.maximum)
+            cumulative += weight
+            prev_mid = mid
+            prev_mean = mean
+        return float(self.maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def __len__(self) -> int:
+        return len(self.centroids)
+
+    # -- transport ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (pickles/JSONs cleanly; structural equality
+        is exactly 'same summary')."""
+        return {
+            "delta": self.delta,
+            "count": self.count,
+            "total": self.total,
+            "min_ns": self.minimum,
+            "max_ns": self.maximum,
+            "centroids": [[mean, weight] for mean, weight in self.centroids],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PercentileSketch":
+        sketch = cls(data["delta"])
+        sketch.count = data["count"]
+        sketch.total = data["total"]
+        sketch.minimum = data["min_ns"]
+        sketch.maximum = data["max_ns"]
+        sketch.centroids = [(mean, weight) for mean, weight in data["centroids"]]
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"<PercentileSketch n={self.count} centroids={len(self.centroids)} "
+            f"delta={self.delta}>"
+        )
+
+
+def _merge_sorted(
+    a: Iterable[Tuple[float, int]], b: Iterable[Tuple[float, int]]
+) -> List[Tuple[float, int]]:
+    """Merge two mean-sorted centroid lists into one sorted list."""
+    merged = list(a) + list(b)
+    merged.sort(key=lambda c: c[0])
+    return merged

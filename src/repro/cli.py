@@ -10,6 +10,7 @@ Examples::
     python -m repro fig11
     python -m repro fig12 --workload A
     python -m repro sweep          # the tenancy sweep headline table
+    python -m repro bench --shards 4 --oracle-check   # sharded engine vs oracle
     python -m repro trace          # traced run -> Chrome-trace JSON + report
     python -m repro chaos --seed 7 # fault-injection matrix, invariant report
 """
@@ -92,6 +93,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--stress", type=int, default=3, help="tenants per replica core")
     bench.add_argument("--workers", type=int, default=None, help="processes (default: all cores)")
     bench.add_argument("--serial", action="store_true", help="run in-process (reference path)")
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run the sharded-engine mesh program across N worker "
+            "processes and print its deterministic render (stdout is "
+            "byte-identical for any N; timing goes to stderr)"
+        ),
+    )
+    bench.add_argument(
+        "--oracle-check",
+        action="store_true",
+        help="with --shards: also run the single-process oracle and fail on any byte difference",
+    )
+    bench.add_argument("--hosts", type=int, default=24, help="mesh hosts (with --shards)")
+    bench.add_argument("--messages", type=int, default=40, help="mesh messages per host (with --shards)")
+    bench.add_argument("--mesh-group", type=int, default=6, help="mesh replication-group size (with --shards)")
+    bench.add_argument(
+        "--remote-permille",
+        type=int,
+        default=100,
+        help="mesh cross-group traffic share, per mille (with --shards)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -347,8 +373,56 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench_shards(args) -> int:
+    """``bench --shards N``: sharded mesh run with deterministic stdout.
+
+    Everything on stdout is a pure function of ``(params, seed)`` —
+    identical for any shard count and for the oracle — so CI byte-diffs
+    it (the ``shard-equivalence`` job). Timing and per-shard stats go
+    to stderr.
+    """
+    from .bench.mesh import mesh_params
+    from .sim.shard import run_oracle, run_sharded
+
+    params = mesh_params(
+        hosts=args.hosts,
+        messages=args.messages,
+        group_size=args.mesh_group,
+        remote_permille=args.remote_permille,
+    )
+    run = run_sharded("mesh", args.shards, seed=args.seed, params=params)
+    if args.oracle_check and args.shards > 1:
+        oracle = run_oracle("mesh", seed=args.seed, params=params)
+        if run.rendered != oracle.rendered or run.report != oracle.report:
+            print(
+                f"FAIL: {args.shards}-shard run diverged from the oracle",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"oracle check passed: {args.shards} shards byte-identical",
+            file=sys.stderr,
+        )
+    print(run.rendered)
+    for stats in run.shard_stats:
+        print(
+            f"shard {stats['shard']}: hosts={stats['hosts']} "
+            f"events={stats['events']} wall={stats['wall_s']:.3f}s",
+            file=sys.stderr,
+        )
+    print(
+        f"shards={run.shards} sync_rounds={run.sync_rounds} "
+        f"lookahead={run.lookahead_ns}ns wall={run.wall_s:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import time
+
+    if args.shards is not None:
+        return _cmd_bench_shards(args)
 
     from .bench.parallel import (
         make_specs,

@@ -22,8 +22,18 @@ Guarantees (enforced by ``tests/unit/test_obs_*.py``):
   kernel-owned (poolable) ``Timeout``/``Event`` instances.
 """
 
-from .trace import TRACER, Tracer, TraceRecord, disable, enable, subsystem_of, tracing
+from .trace import (
+    TRACER,
+    Tracer,
+    TraceRecord,
+    disable,
+    enable,
+    ship_records,
+    subsystem_of,
+    tracing,
+)
 from .export import (
+    merge_shard_records,
     op_records,
     op_timeline,
     to_chrome_trace,
@@ -39,10 +49,12 @@ __all__ = [
     "tracing",
     "enable",
     "disable",
+    "ship_records",
     "subsystem_of",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "merge_shard_records",
     "op_records",
     "op_timeline",
     "render_attribution",

@@ -48,6 +48,7 @@ __all__ = [
     "enable",
     "disable",
     "subsystem_of",
+    "ship_records",
 ]
 
 _DEFAULT_CAPACITY = 1 << 18  # records kept before the ring wraps
@@ -288,7 +289,7 @@ class Tracer:
                 # Drop the dispatch reference before the next pop: a
                 # claimed Timeout is pool-owned the moment fn() returns.
                 del fn, args
-            if until is not None and until > sim.now:
+            if until is not None and sim._advance_clock and until > sim.now:
                 sim.now = until
         finally:
             sim._running = False
@@ -372,7 +373,7 @@ class Tracer:
                     wall[subsystem] = wall.get(subsystem, 0) + elapsed
                     sites[site] = sites.get(site, 0) + elapsed
                     del fn, args
-            if until is not None and until > sim.now:
+            if until is not None and sim._advance_clock and until > sim.now:
                 sim.now = until
         finally:
             sim._batch = None
@@ -438,6 +439,30 @@ class Tracer:
         name = getattr(obj, "name", "")
         return cached[0], f"{cached[1]}.{fn.__name__}", name
 
+    # -- shard merge -------------------------------------------------------
+
+    def absorb(
+        self,
+        records: List[Tuple[int, str, str, str, str, str, int, Optional[Dict[str, Any]]]],
+        counters: Dict[str, int],
+        dispatches: int = 0,
+    ) -> None:
+        """Fold trace state shipped from a shard worker into this tracer.
+
+        ``records`` is the plain-tuple form produced by
+        :func:`ship_records` — workers never pickle
+        :class:`TraceRecord` instances, only their field tuples.
+        Counters merge additively; records append in the order given
+        (callers sort globally via
+        :func:`repro.obs.export.merge_shard_records` afterwards).
+        """
+        for fields in records:
+            self.record(*fields)
+        own = self.counters
+        for name, value in counters.items():
+            own[name] = own.get(name, 0) + value
+        self.dispatches += dispatches
+
     # -- summaries ---------------------------------------------------------
 
     def top_cost_center(self) -> Optional[str]:
@@ -456,6 +481,17 @@ class Tracer:
             f"<Tracer {state} records={len(self.records)} "
             f"dropped={self.dropped} counters={len(self.counters)}>"
         )
+
+
+def ship_records(
+    tracer: Tracer,
+) -> List[Tuple[int, str, str, str, str, str, int, Optional[Dict[str, Any]]]]:
+    """Trace records as plain field tuples, safe to pickle to a peer
+    process and replay through :meth:`Tracer.absorb`."""
+    return [
+        (rec.ts, rec.ph, rec.cat, rec.name, rec.pid, rec.tid, rec.dur, rec.args)
+        for rec in tracer.iter_records()
+    ]
 
 
 TRACER = Tracer()

@@ -251,9 +251,26 @@ class Simulator:
         environment variable (``0``/``false``/``no`` disable), which
         lets sweep worker *processes* be flipped to the generic oracle
         without plumbing the flag through every runner signature.
+    window_ns:
+        Conservative time-window mode (the sharded engine's run loop,
+        see :mod:`repro.sim.shard`): ``run()`` advances in windows of
+        at most ``window_ns`` beyond the next pending event and invokes
+        the :attr:`on_window` barrier hook between windows. Event
+        dispatch order — and therefore every simulated result — is
+        bit-for-bit identical to the unwindowed loop; the mode exists
+        so a shard can stop at lookahead boundaries to exchange
+        cross-shard messages. ``None`` (the default) reads
+        ``REPRO_WINDOW_NS`` (unset/``0`` disable), which lets shard
+        worker processes window default-constructed simulators without
+        plumbing the flag through every experiment signature.
     """
 
-    def __init__(self, seed: int = 0, fast_dispatch: Optional[bool] = None):
+    def __init__(
+        self,
+        seed: int = 0,
+        fast_dispatch: Optional[bool] = None,
+        window_ns: Optional[int] = None,
+    ):
         self.now: int = 0
         self.seed = seed
         self._queue: list = []
@@ -266,6 +283,20 @@ class Simulator:
                 "REPRO_FAST_DISPATCH", "1"
             ).lower() not in ("0", "false", "no")
         self._fast_dispatch = fast_dispatch
+        if window_ns is None:
+            raw = os.environ.get("REPRO_WINDOW_NS", "")
+            window_ns = int(raw) if raw.isdigit() else 0
+        self.window_ns = int(window_ns) if window_ns else 0
+        # Barrier hook for the windowed run loop: called once after
+        # every window (a shard uses it to count sync rounds and, in
+        # the in-process containment path, to exchange messages).
+        self.on_window: Optional[Callable[["Simulator"], None]] = None
+        self.sync_rounds = 0
+        # When False, a bounded run leaves the clock at the last
+        # dispatched event instead of advancing to ``until`` — the
+        # windowed loop needs intermediate slices unpinned so the final
+        # clock matches the plain loop exactly.
+        self._advance_clock = True
         self._timeout_pool: list = []
         self._hop: Optional[Hop] = None
         # Active same-timestamp dispatch batch (fast path only). While
@@ -432,7 +463,50 @@ class Simulator:
         seq-assignment order, so the dispatch order is identical to the
         one-pop-at-a-time generic loop (``fast_dispatch=False``), which
         is kept verbatim below as the equivalence oracle.
+
+        With :attr:`window_ns` set, dispatch is additionally sliced
+        into conservative time windows (identical order, see
+        :meth:`_run_windowed`).
         """
+        if self.window_ns:
+            return self._run_windowed(until)
+        return self._run_plain(until)
+
+    def _run_windowed(self, until: Optional[int]) -> int:
+        """Conservative time-window run loop (the sharded engine mode).
+
+        Each iteration advances from the next pending event time ``T``
+        through exactly one window ``(now, T + window_ns]`` using the
+        normal dispatch loop, then fires the :attr:`on_window` barrier
+        hook. Because the inner slices are plain bounded runs, the
+        dispatch order — and every simulated result — is bit-for-bit
+        identical to an unwindowed run; only the points at which
+        control returns to the caller's barrier differ. Intermediate
+        slices leave the clock unpinned so that, like the plain loop,
+        a run without ``until`` ends at the last dispatched event.
+        """
+        queue = self._queue
+        try:
+            self._advance_clock = False
+            while queue:
+                head = queue[0][0]
+                if until is not None and head > until:
+                    break
+                end = head + self.window_ns
+                if until is not None and end > until:
+                    end = until
+                self._run_plain(end)
+                self.sync_rounds += 1
+                hook = self.on_window
+                if hook is not None:
+                    hook(self)
+        finally:
+            self._advance_clock = True
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def _run_plain(self, until: Optional[int]) -> int:
         obs = self._obs
         if obs is not None and obs.enabled:
             # Checked once per run() call, never per event: the traced
@@ -526,7 +600,7 @@ class Simulator:
                                 batch.append((proc._resume, (value, timeout)))
                     else:
                         fn(*args)
-            if until is not None and until > self.now:
+            if until is not None and self._advance_clock and until > self.now:
                 self.now = until
         finally:
             self._batch = None
@@ -569,7 +643,7 @@ class Simulator:
                     if time != now:
                         now = self.now = time
                     fn(*args)
-                if until > self.now:
+                if self._advance_clock and until > self.now:
                     self.now = until
         finally:
             self._running = False

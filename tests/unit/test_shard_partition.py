@@ -1,0 +1,83 @@
+"""Partitioner determinism and clique atomicity.
+
+``partition_topology`` is a pure function of ``(cliques, n_shards,
+seed)``: the equivalence tests reconstruct a layout from those inputs
+alone, so any nondeterminism here would show up as a sharded run that
+cannot be reproduced.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.mesh import mesh_params
+from repro.sim.shard import Clique, partition_topology
+from repro.bench.mesh import _cliques as mesh_cliques
+
+
+def _random_cliques(rng, n):
+    cliques = []
+    host = 0
+    for index in range(n):
+        size = rng.randrange(1, 5)
+        members = tuple(f"h{host + j:03d}" for j in range(size))
+        host += size
+        cliques.append(Clique(f"c{index:03d}", members, size))
+    return cliques
+
+
+def test_partition_is_deterministic():
+    rng = random.Random(17)
+    cliques = _random_cliques(rng, 23)
+    for n_shards in (1, 2, 3, 4, 7):
+        first = partition_topology(cliques, n_shards, seed=5)
+        again = partition_topology(list(cliques), n_shards, seed=5)
+        assert first == again
+        # Input order must not matter either: the partitioner imposes
+        # its own canonical order before assigning.
+        shuffled = list(cliques)
+        random.Random(99).shuffle(shuffled)
+        assert partition_topology(shuffled, n_shards, seed=5) == first
+
+
+def test_partition_never_splits_a_clique():
+    rng = random.Random(23)
+    cliques = _random_cliques(rng, 31)
+    shards = partition_topology(cliques, 4, seed=1)
+    seen = {}
+    for index, shard in enumerate(shards):
+        for clique in shard:
+            assert clique.name not in seen
+            seen[clique.name] = index
+    assert len(seen) == len(cliques)
+
+
+def test_partition_balances_weight():
+    cliques = [Clique(f"c{i}", (f"h{i}",), 1) for i in range(40)]
+    shards = partition_topology(cliques, 4, seed=0)
+    loads = [sum(c.weight for c in shard) for shard in shards]
+    assert max(loads) - min(loads) <= 1
+
+
+def test_partition_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        partition_topology([], 0)
+
+
+def test_seed_changes_layout_not_contents():
+    rng = random.Random(31)
+    cliques = _random_cliques(rng, 29)
+    a = partition_topology(cliques, 3, seed=1)
+    b = partition_topology(cliques, 3, seed=2)
+    flat = lambda shards: sorted(c.name for shard in shards for c in shard)
+    assert flat(a) == flat(b)
+
+
+def test_mesh_cliques_follow_group_size():
+    params = mesh_params(hosts=10, group_size=4)
+    cliques = mesh_cliques(params)
+    assert [len(c.members) for c in cliques] == [4, 4, 2]
+    assert [c.weight for c in cliques] == [4, 4, 2]
+    members = [m for c in cliques for m in c.members]
+    assert members == sorted(members)
+    assert len(set(members)) == 10

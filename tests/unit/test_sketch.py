@@ -1,0 +1,96 @@
+"""Mergeable percentile sketch: accuracy, determinism, transport.
+
+The sketch replaces whole-array ``samples_ns`` shipping for large
+runs, so the properties that matter are (a) percentile error small
+enough for the tables we print, (b) deterministic merging in a fixed
+fold order, (c) faithful exact fields (count/sum/min/max), and (d)
+the recorder's ship() threshold actually switching representations.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import LatencyRecorder, stats_from_sketch
+from repro.bench.sketch import SKETCH_THRESHOLD, PercentileSketch
+
+
+def _exact_percentile(samples, fraction):
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_sketch_percentiles_close_to_exact(seed):
+    rng = random.Random(seed)
+    samples = [int(rng.lognormvariate(8, 1.2)) + 1 for _ in range(20_000)]
+    sketch = PercentileSketch.from_samples(samples)
+    assert sketch.count == len(samples)
+    assert sketch.total == sum(samples)
+    assert sketch.minimum == min(samples)
+    assert sketch.maximum == max(samples)
+    spread = max(samples) - min(samples)
+    for fraction in (0.5, 0.9, 0.95, 0.99):
+        exact = _exact_percentile(samples, fraction)
+        approx = sketch.percentile(fraction)
+        assert abs(approx - exact) <= max(0.02 * exact, 0.002 * spread), (
+            f"p{int(fraction * 100)}: sketch {approx} vs exact {exact}"
+        )
+
+
+def test_sketch_compresses():
+    samples = list(range(50_000))
+    sketch = PercentileSketch.from_samples(samples)
+    assert len(sketch.centroids) < 2_000
+
+
+def test_merge_is_deterministic_in_fold_order():
+    rng = random.Random(7)
+    chunks = [
+        [int(rng.expovariate(1 / 5000)) + 1 for _ in range(4000)]
+        for _ in range(5)
+    ]
+    def fold():
+        merged = PercentileSketch()
+        for chunk in chunks:
+            merged.add_samples(chunk)
+        return merged.to_dict()
+    assert fold() == fold()
+
+
+def test_dict_roundtrip():
+    sketch = PercentileSketch.from_samples([3, 1, 4, 1, 5, 9, 2, 6])
+    clone = PercentileSketch.from_dict(sketch.to_dict())
+    assert clone.to_dict() == sketch.to_dict()
+    assert clone.percentile(0.5) == sketch.percentile(0.5)
+
+
+def test_recorder_ships_raw_below_threshold():
+    recorder = LatencyRecorder("t")
+    for value in range(100):
+        recorder.record(value + 1)
+    samples, sketch = recorder.ship()
+    assert samples == list(range(1, 101))
+    assert sketch is None
+
+
+def test_recorder_ships_sketch_above_threshold():
+    recorder = LatencyRecorder("t")
+    rng = random.Random(11)
+    for _ in range(SKETCH_THRESHOLD + 1):
+        recorder.record(int(rng.expovariate(1 / 3000)) + 1)
+    samples, sketch = recorder.ship()
+    assert samples == []
+    assert sketch is not None
+    stats = stats_from_sketch(PercentileSketch.from_dict(sketch))
+    exact = recorder.stats()
+    assert stats.count == exact.count
+    assert stats.mean == pytest.approx(exact.mean, rel=1e-9)
+    assert stats.p99 == pytest.approx(exact.p99, rel=0.05)
+    assert stats.minimum == exact.minimum
+    assert stats.maximum == exact.maximum
