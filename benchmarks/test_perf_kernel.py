@@ -14,6 +14,7 @@ from repro.bench.perfsuite import (
     bench_gwrite,
     bench_kernel_events,
     bench_parallel_scaling,
+    bench_txn_commit,
     run_suite,
 )
 
@@ -58,6 +59,17 @@ def test_parallel_scaling_benchmark_is_exact():
     assert result["runs"] == 2
 
 
+def test_txn_commit_benchmark_upholds_isolation():
+    result = bench_txn_commit(n_txns=24)
+    # Simulated outcomes, identical on every machine: the full default
+    # mix commits, the write-skew pairs cost their SSI aborts, and the
+    # committed history stays anomaly-free (asserted inside the bench).
+    assert result["commits"] > 0
+    assert result["aborts_ssi"] >= 1
+    assert 0.0 < result["abort_rate"] < 0.5
+    assert result["commits_per_sec"] > 0
+
+
 def test_run_suite_quick_produces_complete_entry():
     entry = run_suite(quick=True, repeats=1)
     for key in (
@@ -65,6 +77,8 @@ def test_run_suite_quick_produces_complete_entry():
         "gwrite_ops_per_sec",
         "fig8_wall_s",
         "fig8_p50_us",
+        "txn_commits_per_sec",
+        "txn_abort_rate",
         "cpu_count",
         "python",
     ):

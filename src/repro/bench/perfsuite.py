@@ -42,6 +42,7 @@ __all__ = [
     "bench_fig8_traced",
     "bench_parallel_scaling",
     "bench_sharded",
+    "bench_txn_commit",
     "annotate_parallel_entry",
     "annotate_sharded_entry",
     "run_suite",
@@ -343,6 +344,40 @@ def bench_sharded(
     }
 
 
+def bench_txn_commit(n_txns: int = 96, seed: int = 7) -> Dict[str, Any]:
+    """Transaction-layer throughput: the SSI workload end to end.
+
+    Every commit is a full multi-group install (WAL append + group
+    lock + ExecuteAndAdvance per participant), so commits/sec tracks
+    the whole storage stack plus the coordinator's validation path.
+    The simulated outcome is recorded alongside: an anomaly, a group
+    error, or a missing write-skew abort is broken determinism or
+    broken isolation, and the suite fails on it rather than log it.
+    """
+    from ..txn import run_txn_workload
+
+    started = time.perf_counter()
+    report = run_txn_workload(seed=seed, n_txns=n_txns, write_skew_pairs=2)
+    wall = time.perf_counter() - started
+    if report.errors:
+        raise AssertionError(f"txn workload errors: {report.errors}")
+    if report.anomaly != "none":
+        raise AssertionError(f"serialization anomaly under SSI: {report.anomaly}")
+    if report.aborts_ssi < 1:
+        raise AssertionError("write-skew pairs ran but no SSI abort was taken")
+    return {
+        "attempted": report.attempted,
+        "commits": report.commits,
+        "wall_s": wall,
+        "commits_per_sec": report.commits / wall,
+        "abort_rate": (
+            report.aborts / report.attempted if report.attempted else 0.0
+        ),
+        "aborts_ssi": report.aborts_ssi,
+        "sim_ms": report.sim_ms,
+    }
+
+
 def annotate_sharded_entry(
     sharded: Dict[str, Any], cpu_count: Optional[int]
 ) -> Dict[str, Any]:
@@ -475,6 +510,16 @@ def run_suite(
         1 if quick else repeats,
     )
     entry["sharded"] = annotate_sharded_entry(sharded, entry["cpu_count"])
+
+    txn = _best(
+        lambda: bench_txn_commit(n_txns=24 if quick else 96),
+        repeats,
+    )
+    entry["txn_commits_per_sec"] = round(txn["commits_per_sec"], 1)
+    entry["txn_attempted"] = txn["attempted"]
+    entry["txn_commits"] = txn["commits"]
+    entry["txn_abort_rate"] = round(txn["abort_rate"], 3)
+    entry["txn_sim_ms"] = round(txn["sim_ms"], 3)
 
     if trace:
         traced = bench_fig8_traced(n_ops=30 if quick else 60)

@@ -119,6 +119,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="mesh cross-group traffic share, per mille (with --shards)",
     )
 
+    txn = sub.add_parser(
+        "txn",
+        help="cross-group SSI transaction workload (repro.txn)",
+        description=(
+            "Run the deterministic multi-group transaction mix through the "
+            "SSI coordinator (snapshot reads, first-committer-wins, pivot "
+            "aborts) and verify the committed history offline. The report "
+            "depends only on the arguments — two runs with the same seed "
+            "print byte-identical output."
+        ),
+    )
+    txn.add_argument("--seed", type=int, default=7)
+    txn.add_argument(
+        "--mode",
+        choices=["ssi", "si"],
+        default="ssi",
+        help="ssi = abort dangerous structures; si = plain snapshot isolation",
+    )
+    txn.add_argument("--txns", type=int, default=24, help="mixed transactions")
+    txn.add_argument("--groups", type=int, default=2, help="replica groups")
+    txn.add_argument(
+        "--write-skew-pairs",
+        type=int,
+        default=2,
+        help="rendezvoused write-skew pairs (SI admits, SSI must abort)",
+    )
+
     trace = sub.add_parser(
         "trace",
         help="traced experiment run: Chrome-trace export + attribution report",
@@ -229,6 +256,7 @@ def _cmd_list() -> int:
         ("bench", "parallel seed/config sweep with merged stats"),
         ("trace", "traced run: Chrome-trace timeline + attribution report"),
         ("chaos", "fault-injection scenario matrix with invariant checks"),
+        ("txn", "cross-group SSI transactions with Available-Copies reads"),
     ]
     print(format_table("Experiments", ["command", "what it reproduces"], rows))
     return 0
@@ -539,6 +567,30 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_txn(args) -> int:
+    from .txn import run_txn_workload
+
+    report = run_txn_workload(
+        seed=args.seed,
+        mode=args.mode,
+        n_groups=args.groups,
+        n_txns=args.txns,
+        write_skew_pairs=args.write_skew_pairs,
+    )
+    print(report.render())
+    if report.errors:
+        return 1
+    if args.mode == "ssi":
+        # The acceptance gate: a serializable mode must never commit an
+        # anomalous history, and must catch at least one write skew
+        # whenever the generator runs.
+        if report.anomaly != "none":
+            return 1
+        if args.write_skew_pairs > 0 and report.aborts_ssi < 1:
+            return 1
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from .faults import SCENARIOS, render_matrix, run_matrix
 
@@ -658,6 +710,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": lambda: _cmd_bench(args),
         "trace": lambda: _cmd_trace(args),
         "chaos": lambda: _cmd_chaos(args),
+        "txn": lambda: _cmd_txn(args),
     }
     return handlers[args.command]()
 

@@ -134,6 +134,40 @@ class HyperLoopGroup:
     def group_size(self) -> int:
         return len(self.replicas)
 
+    @property
+    def validated_since_birth(self) -> bool:
+        """Whether an acked write round completed on this group's chain.
+
+        The Available-Copies read rule: a chain freshly built (e.g. by
+        ``ChainRepair`` after a membership change) must be *written
+        since recovery* before its copies may serve snapshot reads.
+        An acked gWRITE round traverses every member, so one ack since
+        construction re-validates the whole chain.
+        """
+        chain = self.chains.get(GWRITE)
+        return chain is not None and chain.last_ack_ns is not None
+
+    def readable_replicas(self) -> List[int]:
+        """Replica indices currently eligible to serve one-sided reads.
+
+        Excludes crashed hosts, halted NICs, and replicas restarted
+        after the chain's newest acked write — a restarted site holds
+        whatever survived in NVM and must see a committed write land
+        before its copy is trusted again (Available-Copies).
+        """
+        chain = self.chains.get(GWRITE)
+        last_ack = chain.last_ack_ns if chain is not None else None
+        out: List[int] = []
+        for index, host in enumerate(self.replicas):
+            if host.down or host.nic.halted:
+                continue
+            if host.last_restart_ns is not None and (
+                last_ack is None or last_ack <= host.last_restart_ns
+            ):
+                continue
+            out.append(index)
+        return out
+
     # -- lifecycle -----------------------------------------------------------------
 
     def start(self) -> None:

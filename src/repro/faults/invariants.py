@@ -15,6 +15,19 @@ The invariants come straight from the paper's guarantees:
   log + checkpoint reconstruct exactly the committed table (§5.1).
 * *Suspicion within bound* — a crashed replica is suspected within
   ``miss_threshold`` beat intervals plus detection slack (§5.1).
+
+The transaction layer (``repro.txn``) adds three more:
+
+* *No serialization anomaly* — the committed history's full
+  serialization graph (ww + wr + rw edges) is acyclic, checked offline
+  and independently of whatever the online SSI rules claimed.
+* *Read-your-writes across failover* — every snapshot read observed
+  exactly the version its snapshot timestamp entitles it to, and every
+  own-write read returned the buffered value, even when the read
+  failed over to a surviving replica.
+* *No acked txn write lost* — the newest published version of every
+  key is durably present (and identical) on every surviving replica of
+  its owning group.
 """
 
 from __future__ import annotations
@@ -30,6 +43,9 @@ __all__ = [
     "check_acked_writes",
     "check_suspicion_bound",
     "check_wal_recovery",
+    "check_no_serialization_anomaly",
+    "check_read_your_writes",
+    "check_txn_acked_writes",
     "tally_invariants",
 ]
 
@@ -150,6 +166,121 @@ def check_wal_recovery(
     if extra:
         parts.append(f"extra={len(extra)} first={extra[0]!r}")
     return InvariantResult(name, False, f"r{replica}: " + ", ".join(parts))
+
+
+def check_no_serialization_anomaly(
+    coordinator, name: str = "no-serialization-anomaly"
+) -> InvariantResult:
+    """The committed history's serialization graph is acyclic.
+
+    Reconstructed offline from ww + wr + rw edges over the version
+    order — independent of the online SSI bookkeeping, so a bug in the
+    pivot rule (or a history that slipped past it during failover)
+    fails here.
+    """
+    from ..txn.ssi import describe_cycle
+
+    anomaly = describe_cycle(coordinator.history)
+    if anomaly != "none":
+        return InvariantResult(name, False, anomaly)
+    return InvariantResult(
+        name, True, f"{len(coordinator.history)} committed, acyclic"
+    )
+
+
+def check_read_your_writes(
+    coordinator, name: str = "read-your-writes-failover"
+) -> InvariantResult:
+    """Every read observed exactly what its snapshot entitles it to.
+
+    Three sub-checks over the coordinator's observation log and
+    committed history:
+
+    * no snapshot read was served from a durable copy *behind* the
+      version chain (``stale`` flag — the Available-Copies rules must
+      keep unwritten-since-recovery replicas out of rotation);
+    * each committed transaction's recorded read versions match an
+      independent reconstruction from the history (newest commit at or
+      before its snapshot);
+    * own-write reads only ever happened for keys the transaction
+      actually wrote.
+    """
+    stale = [
+        obs for obs in coordinator.observations if obs["stale"]
+    ]
+    if stale:
+        first = stale[0]
+        return InvariantResult(
+            name,
+            False,
+            f"{len(stale)} stale reads, first T{first['txid']} "
+            f"{first['key']!r} from r{first['replica']}",
+        )
+    by_txid = {txn.txid: txn for txn in coordinator.history}
+    mismatches: List[str] = []
+    for txn in coordinator.history:
+        for key, seen_ts in txn.reads.items():
+            expected = max(
+                (
+                    other.commit_ts
+                    for other in coordinator.history
+                    if key in other.writes and other.commit_ts <= txn.begin_ts
+                ),
+                default=0,
+            )
+            if seen_ts != expected:
+                mismatches.append(
+                    f"T{txn.txid} {key!r} saw ts={seen_ts} expected {expected}"
+                )
+    for obs in coordinator.observations:
+        if obs["kind"] != "own-write":
+            continue
+        txn = by_txid.get(obs["txid"])
+        if txn is not None and obs["key"] not in txn.writes:
+            mismatches.append(
+                f"T{obs['txid']} own-write read of unwritten {obs['key']!r}"
+            )
+    if mismatches:
+        return InvariantResult(
+            name, False, f"{len(mismatches)}: " + "; ".join(mismatches[:2])
+        )
+    reads = sum(1 for obs in coordinator.observations if obs["kind"] != "own-write")
+    return InvariantResult(name, True, f"{reads} reads consistent")
+
+
+def check_txn_acked_writes(
+    coordinator, name: str = "no-acked-write-lost"
+) -> InvariantResult:
+    """The newest published version of every key is durable everywhere.
+
+    For each key, every surviving replica of the owning group must
+    hold a slot record at least as new as the newest *published*
+    version (a strictly newer record is a legal orphan of an
+    unfinished commit; an older one means an acknowledged commit's
+    bytes were lost).
+    """
+    lost: List[str] = []
+    checked = 0
+    for store in coordinator.stores:
+        group = store.group
+        for key in sorted(store.versions):
+            latest = store.latest(key)
+            if latest is None:
+                continue
+            for replica in range(group.group_size):
+                if group.replicas[replica].down:
+                    continue
+                checked += 1
+                durable = store.read_durable_offline(replica, key)
+                if durable is None or durable[0] < latest.commit_ts:
+                    lost.append(f"{store.name}:r{replica}:{key!r}")
+                elif durable[0] == latest.commit_ts and durable[3] != latest.value:
+                    lost.append(f"{store.name}:r{replica}:{key!r} (corrupt)")
+    if lost:
+        return InvariantResult(
+            name, False, f"{len(lost)} lost: " + ", ".join(lost[:4])
+        )
+    return InvariantResult(name, True, f"{checked} replica slots verified")
 
 
 def tally_invariants(

@@ -29,8 +29,11 @@ from .invariants import (
     check_acked_writes,
     check_model_match,
     check_no_errors,
+    check_no_serialization_anomaly,
+    check_read_your_writes,
     check_replicas_identical,
     check_suspicion_bound,
+    check_txn_acked_writes,
     check_wal_recovery,
 )
 from .plan import FaultInjector, FaultPlan
@@ -849,6 +852,338 @@ def _scenario_power_failure(seed: int) -> ScenarioReport:
     return _finish(name, seed, sim, injector, n_ops, invariants, notes)
 
 
+# -- transaction-layer scenarios (repro.txn under faults) ---------------------------
+
+
+def _txn_spec_runner(coordinator, spec, outcome):
+    """A one-shot task body running one transaction spec.
+
+    Spawned as a probe sub-task so the caller can abandon it if its
+    chain dies mid-commit (the coordinator's epoch guard keeps the
+    zombie from committing after failover)."""
+    from ..txn import TxnAborted
+
+    def bump(value):
+        current = int.from_bytes(value or b"\x00", "little")
+        return ((current + 1) & 0xFFFFFFFF).to_bytes(8, "little")
+
+    def body(task):
+        txn = yield from coordinator.begin(task)
+        try:
+            if spec[0] == "init":
+                for key in spec[1]:
+                    coordinator.write(txn, key, (1).to_bytes(8, "little"))
+            elif spec[0] == "rmw":
+                value = yield from coordinator.read(task, txn, spec[1])
+                coordinator.write(txn, spec[1], bump(value))
+            else:  # transfer
+                first = yield from coordinator.read(task, txn, spec[1])
+                second = yield from coordinator.read(task, txn, spec[2])
+                coordinator.write(txn, spec[1], bump(first))
+                coordinator.write(txn, spec[2], bump(second))
+            yield from coordinator.commit(task, txn)
+            outcome["result"] = "committed"
+        except TxnAborted as exc:
+            outcome["result"] = f"aborted:{exc.reason}"
+
+    return body
+
+
+def _scenario_txn_failover(seed: int) -> ScenarioReport:
+    """A replica of a transaction participant group dies while commits
+    are flowing: the heartbeat monitor suspects it, ChainRepair splices
+    in the spare, the coordinator's failover reset aborts the parked
+    epoch and drains the WAL, and the workload resumes — with the
+    committed history still anomaly-free, snapshot reads never stale,
+    and every published version durable on the repaired chain."""
+    from ..txn import AvailabilityTracker, TxnCoordinator, VersionedGroupStore
+    from ..storage.transactions import TransactionManager
+
+    name = "txn-failover"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=8, n_cores=4)
+    client = cluster[0]
+    group_a_hosts = cluster.hosts[1:4]
+    group_b_hosts = cluster.hosts[4:7]
+    spare = cluster[7]
+    region_size = 1 << 14
+    generation = [0]
+
+    def factory(members):
+        generation[0] += 1
+        return HyperLoopGroup(
+            client,
+            members,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.a{generation[0]}",
+        )
+
+    group_a = HyperLoopGroup(
+        client, group_a_hosts, region_size=region_size, rounds=16, name=f"{name}.a0"
+    )
+    group_b = HyperLoopGroup(
+        client, group_b_hosts, region_size=region_size, rounds=16, name=f"{name}.b"
+    )
+    stores = [
+        VersionedGroupStore(TransactionManager(group_a, writer_id=1), name=f"{name}.s0"),
+        VersionedGroupStore(TransactionManager(group_b, writer_id=2), name=f"{name}.s1"),
+    ]
+    tracker = AvailabilityTracker()
+    coordinator = TxnCoordinator(stores, mode="ssi", tracker=tracker, name=name)
+
+    crash_at_op = 6
+    plan = FaultPlan(label=name).add("host_crash", target="host2", at_op=crash_at_op)
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    monitor = HeartbeatMonitor(
+        client, group_a_hosts, interval=2 * MS, miss_threshold=3, name=f"{name}.hb"
+    )
+    pause_hook = tracker.on_repair_phase(0)
+
+    def on_phase(phase):
+        pause_hook(phase)
+        injector.notify_phase(phase)
+
+    repairer = ChainRepair(client, group_a, factory, on_phase=on_phase)
+
+    keys = [f"k{index:02d}".encode() for index in range(8)]
+    rng = sim.rng("chaos-ops")
+    n_ops = 18
+    specs = [("init", tuple(keys))]
+    for _ in range(n_ops - 1):
+        if rng.random() < 0.5:
+            specs.append(("rmw", rng.choice(keys)))
+        else:
+            first, second = rng.sample(keys, 2)
+            specs.append(("transfer", first, second))
+
+    progress: Dict[str, object] = {
+        "done": False,
+        "repaired": False,
+        "rebound": False,
+        "failed_index": None,
+        "drained": None,
+        "reissued": 0,
+        "retried": 0,
+    }
+
+    def writer(task):
+        for index, spec in enumerate(specs):
+            while True:
+                while repairer.paused or (
+                    repairer.repairs > 0 and not progress["rebound"]
+                ):
+                    yield from task.sleep(100_000)
+                current = repairer.group
+                outcome: Dict[str, str] = {}
+                sub = client.os.spawn(
+                    _txn_spec_runner(coordinator, spec, outcome),
+                    name=f"{name}.t{index}",
+                )
+                while (
+                    not sub.process.triggered
+                    and repairer.group is current
+                    and not repairer.paused
+                ):
+                    yield from task.sleep(50_000)
+                if sub.process.triggered:
+                    result = outcome.get("result", "")
+                    if result in ("aborted:failover", "aborted:stale-epoch"):
+                        progress["retried"] += 1
+                        continue  # epoch casualty — replay on the new chain
+                    break
+                # The chain died under this transaction (commit parked
+                # on a dead ack, never acknowledged): abandon the probe
+                # and replay once the coordinator has rebound.
+                progress["reissued"] += 1
+            injector.notify_op()
+        progress["done"] = True
+
+    def detector(task):
+        index = yield from monitor.wait_for_suspicion(task)
+        progress["failed_index"] = index
+        monitor.stop_beats(index)
+        yield from repairer.repair(
+            task, index, spare, copy_from=0 if index != 0 else 1
+        )
+        progress["repaired"] = True
+        drained = yield from coordinator.reset_after_failover(
+            task, 0, repairer.group
+        )
+        progress["drained"] = drained
+        progress["rebound"] = True
+
+    client.os.spawn(writer, name=f"{name}.writer")
+    client.os.spawn(detector, name=f"{name}.detector")
+    run_until(
+        sim,
+        lambda: progress["done"] and progress["rebound"],
+        deadline_ms=10_000,
+    )
+    sim.run(until=sim.now + 5 * MS)
+
+    invariants = [
+        _exercised(injector, "host_crash"),
+        InvariantResult(
+            "failed-replica-detected",
+            progress["failed_index"] == 1,
+            f"suspected index {progress['failed_index']}",
+        ),
+        InvariantResult(
+            "repair-completed",
+            repairer.repairs == 1 and progress["rebound"] is True,
+            f"repairs={repairer.repairs} wal_drained={progress['drained']}",
+        ),
+        check_no_serialization_anomaly(coordinator),
+        check_read_your_writes(coordinator),
+        check_txn_acked_writes(coordinator),
+        check_no_errors(group_b, name="no-group-errors-b"),
+    ]
+    notes = [
+        f"committed={coordinator.commits} "
+        f"failover_aborts={coordinator.aborts_failover} "
+        f"reissued={progress['reissued']} retried={progress['retried']} "
+        f"read_failovers={tracker.failovers}"
+    ]
+    return _finish(name, seed, sim, injector, len(specs), invariants, notes)
+
+
+def _scenario_txn_chaos(seed: int) -> ScenarioReport:
+    """The SSI workload — concurrent mixed transactions plus one
+    rendezvoused write-skew pair — on a lossy fabric (drops, delays,
+    duplicates). RC retransmission must absorb the noise; the committed
+    history must stay anomaly-free and every version durable, and the
+    write skew must still be caught."""
+    from ..txn import TxnAborted, TxnCoordinator, VersionedGroupStore
+    from ..storage.transactions import TransactionManager
+
+    name = "txn-chaos"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    client = cluster[0]
+    region_size = 1 << 14
+    groups = [
+        HyperLoopGroup(
+            client,
+            cluster.hosts[1:4],
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.g{index}",
+        )
+        for index in range(2)
+    ]
+    stores = [
+        VersionedGroupStore(
+            TransactionManager(group, writer_id=index + 1), name=f"{name}.s{index}"
+        )
+        for index, group in enumerate(groups)
+    ]
+    coordinator = TxnCoordinator(stores, mode="ssi", name=name)
+
+    plan = (
+        FaultPlan(label=name)
+        .add("drop", probability=0.01)
+        .add("delay", probability=0.04, extra_delay_ns=2_000)
+        .add("duplicate", probability=0.02, duplicates=1)
+    )
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+
+    keys = [f"k{index:02d}".encode() for index in range(8)]
+    skew_x, skew_y = b"wsx", b"wsy"
+    rng = sim.rng("chaos-ops")
+    n_workers = 2
+    ops_per_worker = 6
+    plans = []
+    for _ in range(n_workers):
+        ops = []
+        for _ in range(ops_per_worker):
+            if rng.random() < 0.5:
+                ops.append(("rmw", rng.choice(keys)))
+            else:
+                first, second = rng.sample(keys, 2)
+                ops.append(("transfer", first, second))
+        plans.append(ops)
+
+    progress: Dict[str, object] = {"init": False, "workers": 0, "pairs": 0}
+    rendezvous = [False, False]
+
+    def init_body(task):
+        outcome: Dict[str, str] = {}
+        yield from _txn_spec_runner(
+            coordinator, ("init", tuple(keys) + (skew_x, skew_y)), outcome
+        )(task)
+        progress["init"] = True
+
+    def worker_body(worker):
+        def body(task):
+            for spec in plans[worker]:
+                outcome: Dict[str, str] = {}
+                yield from _txn_spec_runner(coordinator, spec, outcome)(task)
+                injector.notify_op()
+            progress["workers"] += 1
+
+        return body
+
+    def skew_body(side):
+        def body(task):
+            txn = yield from coordinator.begin(task)
+            try:
+                yield from coordinator.read(task, txn, skew_x)
+                yield from coordinator.read(task, txn, skew_y)
+                rendezvous[side] = True
+                while not (rendezvous[0] and rendezvous[1]):
+                    yield from task.sleep(5_000)
+                coordinator.write(
+                    txn, skew_y if side == 0 else skew_x, (0).to_bytes(8, "little")
+                )
+                yield from coordinator.commit(task, txn)
+            except TxnAborted:
+                pass
+            progress["pairs"] += 1
+
+        return body
+
+    client.os.spawn(init_body, name=f"{name}.init")
+    run_until(sim, lambda: progress["init"], deadline_ms=10_000)
+    for worker in range(n_workers):
+        client.os.spawn(worker_body(worker), name=f"{name}.w{worker}")
+    for side in range(2):
+        client.os.spawn(skew_body(side), name=f"{name}.ws{side}")
+    run_until(
+        sim,
+        lambda: progress["workers"] == n_workers and progress["pairs"] == 2,
+        deadline_ms=10_000,
+    )
+    sim.run(until=sim.now + 2 * MS)
+
+    invariants = [
+        _exercised(injector, "drop", "delay", "duplicate"),
+        InvariantResult(
+            "write-skew-caught",
+            coordinator.aborts_ssi >= 1,
+            f"ssi aborts={coordinator.aborts_ssi}",
+        ),
+        check_no_serialization_anomaly(coordinator),
+        check_read_your_writes(coordinator),
+        check_txn_acked_writes(coordinator),
+        *[
+            check_no_errors(group, name=f"no-group-errors-{index}")
+            for index, group in enumerate(groups)
+        ],
+    ]
+    notes = [
+        f"committed={coordinator.commits} "
+        f"aborts_ssi={coordinator.aborts_ssi} aborts_ww={coordinator.aborts_ww}"
+    ]
+    return _finish(
+        name, seed, sim, injector, 1 + n_workers * ops_per_worker + 2, invariants, notes
+    )
+
+
 # -- registry and matrix ------------------------------------------------------------
 
 
@@ -889,6 +1224,14 @@ SCENARIOS: Dict[str, _Scenario] = {
     "client-crash": _Scenario(
         _scenario_client_crash, "coordinator crash -> restart -> re-attach + catch-up"
     ),
+    "txn-failover": _Scenario(
+        _scenario_txn_failover,
+        "replica crash mid-commit -> repair -> txn epoch reset + replay",
+    ),
+    "txn-chaos": _Scenario(
+        _scenario_txn_chaos,
+        "SSI transaction mix + write skew on a drop+delay+duplicate fabric",
+    ),
 }
 
 COMPOUND_SCENARIOS = (
@@ -896,6 +1239,7 @@ COMPOUND_SCENARIOS = (
     "double-crash",
     "stall-lossy",
     "client-crash",
+    "txn-chaos",
 )
 """The overlapping-failure subset — the default sweep matrix."""
 

@@ -39,6 +39,10 @@ class Host:
 
         self.dev = RdmaDevice(self.nic, hyperloop=hyperloop_driver)
         self.down = False
+        # Virtual time of the last restart (None = never restarted).
+        # Read-side failure rules use this to tell a fresh copy from a
+        # recovered one that has not been written since recovery.
+        self.last_restart_ns: Optional[int] = None
 
     def power_failure(self) -> None:
         """Lose power: NIC cache dropped, DRAM zeroed, NVM survives.
@@ -72,6 +76,7 @@ class Host:
         pre-crash ring holds zeroed (invalid) WQEs. Software rebuilds
         its groups/QPs on top, as §5.1's recovery flow does."""
         self.down = False
+        self.last_restart_ns = self.sim.now
         self.nic.restart()
 
     def __repr__(self) -> str:

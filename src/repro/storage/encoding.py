@@ -18,7 +18,13 @@ from __future__ import annotations
 import struct
 from typing import Dict, Union
 
-__all__ = ["encode_document", "decode_document", "DocumentError"]
+__all__ = [
+    "encode_document",
+    "decode_document",
+    "DocumentError",
+    "encode_version_record",
+    "decode_version_record",
+]
 
 Value = Union[str, bytes, int]
 
@@ -85,3 +91,49 @@ def decode_document(raw: bytes) -> Dict[str, Value]:
         else:
             raise DocumentError(f"unknown field type {type_code}")
     return fields
+
+
+# -- versioned records (the transaction layer's slot format) -----------------------
+#
+# One fixed-size DB slot per key holds the newest *installed* version:
+#
+#     magic u16 | key_len u16 | value_len u16 | commit_ts u64 | txid u64
+#     key | value
+#
+# Version metadata (commit timestamp + writer transaction id) rides in
+# the record so a one-sided replica read is self-describing: a reader
+# can tell a visible version from a newer one — or from an orphan left
+# by a commit that installed durably but never published.
+
+_VERSION_MAGIC = 0x7A58  # "Xz"
+_VERSION_HEAD = struct.Struct("<HHHQQ")
+
+
+def encode_version_record(commit_ts: int, txid: int, key: bytes, value: bytes) -> bytes:
+    """Serialize one versioned key slot."""
+    if commit_ts < 0 or txid < 0:
+        raise DocumentError("version metadata must be non-negative")
+    return (
+        _VERSION_HEAD.pack(_VERSION_MAGIC, len(key), len(value), commit_ts, txid)
+        + key
+        + value
+    )
+
+
+def decode_version_record(raw: bytes):
+    """Inverse of :func:`encode_version_record`.
+
+    Returns ``(commit_ts, txid, key, value)``, or ``None`` for bytes
+    that are not a complete record (an empty or torn slot).
+    """
+    if len(raw) < _VERSION_HEAD.size:
+        return None
+    magic, key_len, value_len, commit_ts, txid = _VERSION_HEAD.unpack_from(raw, 0)
+    if magic != _VERSION_MAGIC:
+        return None
+    cursor = _VERSION_HEAD.size
+    if cursor + key_len + value_len > len(raw):
+        return None
+    key = bytes(raw[cursor : cursor + key_len])
+    value = bytes(raw[cursor + key_len : cursor + key_len + value_len])
+    return commit_ts, txid, key, value

@@ -81,11 +81,15 @@ class ReplicatedLog:
         ``changes`` are ``(db_offset, data)`` pairs. Durability
         follows the group's ``durable`` setting (gFLUSH interleaved).
         """
-        yield from task.wait(self._mutex.acquire())
+        # Pair acquire/release on one object: failover may swap
+        # self._mutex while an appender is parked on a dead chain's
+        # ack, and its eventual unwind must release the mutex it took.
+        mutex = self._mutex
+        yield from task.wait(mutex.acquire())
         try:
             record = yield from self._append_locked(task, changes)
         finally:
-            self._mutex.release()
+            mutex.release()
         return record
 
     def _append_locked(self, task: Task, changes: List[Tuple[int, bytes]]) -> Generator:
@@ -115,11 +119,14 @@ class ReplicatedLog:
     def execute_and_advance(self, task: Task) -> Generator:
         """Execute the record at the head on all replicas; returns it
         (or ``None`` if the log is empty)."""
-        yield from task.wait(self._mutex.acquire())
+        # Local capture for the same reason as append(): release the
+        # mutex actually acquired even if failover swapped self._mutex.
+        mutex = self._mutex
+        yield from task.wait(mutex.acquire())
         try:
             record = yield from self._execute_locked(task)
         finally:
-            self._mutex.release()
+            mutex.release()
         return record
 
     def _execute_locked(self, task: Task) -> Generator:

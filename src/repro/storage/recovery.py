@@ -154,10 +154,12 @@ class ChainRepair:
         self.paused = False
         self.repairs = 0
         # Control-path phase hook: called with "repair" the moment a
-        # repair starts. Chaos scenarios feed this into
-        # ``FaultInjector.notify_phase`` so a plan can land a fault
-        # *inside* the repair window, whose absolute time depends on
-        # detection latency.
+        # repair starts and "repair-done" once the new group is live.
+        # Chaos scenarios feed this into ``FaultInjector.notify_phase``
+        # so a plan can land a fault *inside* the repair window, whose
+        # absolute time depends on detection latency; the transaction
+        # layer's availability tracker uses the same hook to pause and
+        # resume snapshot reads around the catch-up window.
         self.on_phase = on_phase
 
     def repair(
@@ -223,6 +225,8 @@ class ChainRepair:
         self.group = new_group
         self.paused = False
         self.repairs += 1
+        if self.on_phase is not None:
+            self.on_phase("repair-done")
         if TRACER.enabled:
             TRACER.record(
                 task.sim.now,

@@ -20,18 +20,29 @@ from ..hw.cpu import Task
 from .transactions import TransactionManager
 from .twophase import TwoPhaseCoordinator
 
-__all__ = ["ShardedStore"]
+__all__ = ["ShardedStore", "BucketCollisionError"]
 
 _SLOT = struct.Struct("<HI")  # key length, value length
+
+
+class BucketCollisionError(RuntimeError):
+    """Two distinct keys hashed to the same shard bucket.
+
+    Writing the second key would silently overwrite the first one's
+    only durable copy — the write would ack, then vanish from reads
+    (``get`` returns ``None`` for a bucket holding a different key).
+    Raised instead, so callers can re-shard or resize.
+    """
 
 
 class ShardedStore:
     """Fixed-slot key-value storage hashed across shards.
 
     Each shard's DB area is carved into ``slot_size`` buckets; a key
-    maps to ``(shard, bucket)`` by hash. Collisions within a bucket
-    overwrite (callers needing open addressing should layer it above;
-    the benchmarks use keyspaces sized to the bucket count).
+    maps to ``(shard, bucket)`` by hash. A cross-key collision within
+    a bucket raises :class:`BucketCollisionError` before anything is
+    replicated — previously the second key's record silently replaced
+    the first key's, losing an acknowledged write.
 
     Parameters
     ----------
@@ -53,6 +64,10 @@ class ShardedStore:
         ]
         if min(self._buckets) < 1:
             raise ValueError("DB areas too small for a single bucket")
+        # Client-side bucket ownership: (shard, db_offset) -> key. The
+        # coordinator routes every write, so it can detect cross-key
+        # bucket collisions before they clobber durable state.
+        self._bucket_owner: dict = {}
 
     # -- placement ---------------------------------------------------------------
 
@@ -86,9 +101,19 @@ class ShardedStore:
 
     # -- operations -----------------------------------------------------------------
 
+    def _claim_bucket(self, shard: int, offset: int, key: bytes) -> None:
+        owner = self._bucket_owner.get((shard, offset))
+        if owner is not None and owner != key:
+            raise BucketCollisionError(
+                f"keys {owner!r} and {key!r} both hash to shard {shard} "
+                f"bucket @{offset}; writing {key!r} would lose {owner!r}"
+            )
+        self._bucket_owner[(shard, offset)] = key
+
     def put(self, task: Task, key: bytes, value: bytes) -> Generator:
         """Single-key durable put (one shard transaction)."""
         shard, offset = self.locate(key)
+        self._claim_bucket(shard, offset, key)
         yield from self.managers[shard].transact(
             task, [(offset, self._encode(key, value))]
         )
@@ -114,6 +139,7 @@ class ShardedStore:
         shards = set()
         for key, value in items:
             shard, offset = self.locate(key)
+            self._claim_bucket(shard, offset, key)
             shards.add(shard)
             changes.append((shard, offset, self._encode(key, value)))
         if len(shards) == 1:

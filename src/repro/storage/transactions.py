@@ -84,7 +84,17 @@ class TransactionManager:
             yield from self.locks.wr_lock(task, self.writer_id)
             try:
                 yield from self.drain(task)
-            finally:
+            except GeneratorExit:
+                # Abandoned mid-transaction (the chain died under us
+                # and the parked task is being reclaimed). Unlocking
+                # requires yielding, which a closing generator cannot
+                # do — the failover path breaks the stale lock instead
+                # (see VersionedGroupStore.recover).
+                raise
+            except BaseException:
+                yield from self.locks.wr_unlock(task, self.writer_id)
+                raise
+            else:
                 yield from self.locks.wr_unlock(task, self.writer_id)
         self.committed += 1
         return record.lsn

@@ -1,0 +1,41 @@
+"""Cross-group serializable transactions over replicated groups.
+
+``repro.txn`` layers general transactions on the replicated-log /
+group-write machinery: MVCC snapshot reads (:mod:`~repro.txn.mvcc`),
+an SSI serialization graph with pivot aborts (:mod:`~repro.txn.ssi`),
+Available-Copies read placement under failures
+(:mod:`~repro.txn.available_copies`), the commit coordinator tying
+them together (:mod:`~repro.txn.coordinator`), and a deterministic
+workload driver (:mod:`~repro.txn.workload`, ``python -m repro txn``).
+"""
+
+from .available_copies import AvailabilityTracker, NoAvailableCopy
+from .coordinator import Transaction, TxnAborted, TxnCoordinator
+from .mvcc import SlotExhausted, Version, VersionedGroupStore
+from .ssi import (
+    CommittedTxn,
+    SerializationGraph,
+    build_serialization_edges,
+    describe_cycle,
+    find_cycle,
+)
+from .workload import TxnWorkloadReport, build_txn_system, run_txn_workload
+
+__all__ = [
+    "AvailabilityTracker",
+    "NoAvailableCopy",
+    "Transaction",
+    "TxnAborted",
+    "TxnCoordinator",
+    "SlotExhausted",
+    "Version",
+    "VersionedGroupStore",
+    "CommittedTxn",
+    "SerializationGraph",
+    "build_serialization_edges",
+    "describe_cycle",
+    "find_cycle",
+    "TxnWorkloadReport",
+    "build_txn_system",
+    "run_txn_workload",
+]

@@ -1,0 +1,113 @@
+"""Available-Copies read rules: which replica may serve a snapshot read.
+
+Replicated data stays readable while sites fail, but only from copies
+known to be current. The classic Available-Copies discipline (per the
+RepCRec exemplars) is implemented against this repo's failure
+machinery:
+
+* A **crashed or NIC-halted** replica serves nothing — reads fail
+  over to the lowest-index surviving replica.
+* A group **mid-ChainRepair** serves nothing — reads block until the
+  catch-up window closes (``ChainRepair`` reports ``"repair"`` /
+  ``"repair-done"`` through its phase hook).
+* A **freshly restarted** replica, and a **freshly rebuilt** chain,
+  must be *written since recovery* before serving: a restarted host
+  holds whatever NVM kept, a new chain holds the catch-up image, and
+  neither is trusted until an acked write has traversed the chain
+  (``Chain.last_ack_ns`` vs ``Host.last_restart_ns`` — see
+  ``HyperLoopGroup.readable_replicas``). ChainRepair's image install
+  is itself acked chain writes, so a completed repair re-validates
+  every member, including a restarted host spliced back in.
+
+Reads that find no eligible replica block (bounded) rather than serve
+a stale copy; :class:`NoAvailableCopy` surfaces when the bound runs
+out, and the transaction aborts instead of reading garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List
+
+from ..hw.cpu import Task
+from ..obs.trace import TRACER
+from ..sim import MS
+
+__all__ = ["AvailabilityTracker", "NoAvailableCopy"]
+
+
+class NoAvailableCopy(RuntimeError):
+    """No replica became readable within the blocking bound."""
+
+
+class AvailabilityTracker:
+    """Per-group read-side availability state for the txn layer.
+
+    Stores register with :meth:`attach`; ``ChainRepair``'s phase hook
+    is bridged in with :meth:`on_repair_phase` so reads pause during
+    catch-up. Counters (``failovers``, ``blocks``) are deterministic
+    observables the chaos invariants assert on.
+    """
+
+    def __init__(self, poll_ns: int = 100_000, max_wait_ns: int = 500 * MS):
+        self._stores: List[object] = []
+        self._paused: List[bool] = []
+        self.poll_ns = poll_ns
+        self.max_wait_ns = max_wait_ns
+        self.failovers = 0
+        self.blocks = 0
+
+    def attach(self, store) -> int:
+        """Register a :class:`VersionedGroupStore`; returns its index."""
+        self._stores.append(store)
+        self._paused.append(False)
+        return len(self._stores) - 1
+
+    def on_repair_phase(self, index: int) -> Callable[[str], None]:
+        """A ``ChainRepair.on_phase`` callback pausing group ``index``."""
+
+        def hook(phase: str) -> None:
+            if phase == "repair":
+                self._paused[index] = True
+            elif phase == "repair-done":
+                self._paused[index] = False
+
+        return hook
+
+    def paused(self, index: int) -> bool:
+        return self._paused[index]
+
+    def readable(self, index: int) -> List[int]:
+        """Replica indices of group ``index`` eligible to serve reads."""
+        if self._paused[index]:
+            return []
+        group = self._stores[index].group
+        if not group.validated_since_birth:
+            return []
+        return group.readable_replicas()
+
+    def choose(self, task: Task, index: int) -> Generator:
+        """Pick a replica for a snapshot read, blocking while none is
+        eligible. Returns the replica index; raises
+        :class:`NoAvailableCopy` after ``max_wait_ns`` of blocking."""
+        deadline = task.sim.now + self.max_wait_ns
+        blocked = False
+        while True:
+            candidates = self.readable(index)
+            if candidates:
+                replica = candidates[0]
+                if replica != 0:
+                    self.failovers += 1
+                    if TRACER.enabled:
+                        TRACER.count("txn.read_failover")
+                return replica
+            if not blocked:
+                blocked = True
+                self.blocks += 1
+                if TRACER.enabled:
+                    TRACER.count("txn.read_blocked")
+            if task.sim.now >= deadline:
+                raise NoAvailableCopy(
+                    f"group {index}: no readable replica within "
+                    f"{self.max_wait_ns}ns"
+                )
+            yield from task.sleep(self.poll_ns)

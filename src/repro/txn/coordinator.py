@@ -1,0 +1,416 @@
+"""Cross-group transaction coordinator: begin/read/write/commit/abort.
+
+One coordinator spans N replica groups (each wrapped in a
+:class:`~repro.txn.mvcc.VersionedGroupStore`), placing keys by
+consistent hash. Isolation is Serializable Snapshot Isolation:
+
+* ``begin`` takes a snapshot timestamp from the virtual clock
+  (monotonic, unique — never wall time); every read observes the
+  newest version committed at or before it.
+* ``read`` serves the transaction's own buffered write first
+  (read-your-writes), then routes to the owning group, picks a
+  replica under the Available-Copies rules, and cross-checks the
+  one-sided durable read against the version chain.
+* ``write`` buffers locally; nothing touches the wire before commit.
+* ``commit`` validates first-committer-wins on the write set (any
+  version newer than the snapshot aborts), applies the SSI pivot rule
+  (a transaction with both incoming and outgoing rw-antidependency
+  edges aborts; ``mode="si"`` skips this — the write-skew control),
+  then installs per participant group in sorted order through the
+  group lock + replicated log, and finally publishes every version in
+  one synchronous step — all-or-nothing visibility across groups.
+
+Commits are serialized through a cooperative flag rather than a sim
+resource, deliberately: a commit parked forever on a dead chain's ack
+event must be clearable by the failover path
+(:meth:`TxnCoordinator.reset_after_failover`) without unwinding a
+resource queue. ``begin`` also waits out an in-flight commit so no
+snapshot can land between timestamp assignment and publish.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..hw.cpu import Task
+from ..obs.trace import TRACER
+from .available_copies import AvailabilityTracker, NoAvailableCopy
+from .mvcc import VersionedGroupStore
+from .ssi import CommittedTxn, SerializationGraph
+
+__all__ = ["TxnCoordinator", "Transaction", "TxnAborted"]
+
+
+class TxnAborted(Exception):
+    """The transaction cannot commit (or continue)."""
+
+    def __init__(self, txid: int, reason: str, detail: str = ""):
+        self.txid = txid
+        self.reason = reason
+        self.detail = detail
+        super().__init__(
+            f"T{txid} aborted: {reason}" + (f" ({detail})" if detail else "")
+        )
+
+
+@dataclass
+class Transaction:
+    """Coordinator-side state of one in-flight transaction."""
+
+    txid: int
+    snapshot_ts: int
+    epoch: int
+    status: str = "active"  # active | committed | aborted
+    reads: Dict[bytes, int] = field(default_factory=dict)  # key -> seen commit_ts
+    writes: Dict[bytes, bytes] = field(default_factory=dict)
+    abort_reason: Optional[str] = None
+
+
+class TxnCoordinator:
+    """Serializable transactions over several replica groups.
+
+    Parameters
+    ----------
+    stores:
+        One :class:`VersionedGroupStore` per participant group.
+    mode:
+        ``"ssi"`` (default) applies the pivot rule at commit;
+        ``"si"`` is plain snapshot isolation — it admits write skew,
+        which the offline anomaly checker then catches. Exists so
+        tests and the workload can demonstrate exactly what SSI buys.
+    tracker:
+        Shared :class:`AvailabilityTracker`; a fresh one is built if
+        not given. Stores are attached in order, so group index ==
+        tracker index.
+    """
+
+    def __init__(
+        self,
+        stores: Sequence[VersionedGroupStore],
+        mode: str = "ssi",
+        tracker: Optional[AvailabilityTracker] = None,
+        name: str = "txn",
+    ):
+        if not stores:
+            raise ValueError("need at least one group store")
+        if mode not in ("ssi", "si"):
+            raise ValueError(f"bad isolation mode {mode!r}")
+        self.stores = list(stores)
+        self.mode = mode
+        self.name = name
+        self.tracker = tracker if tracker is not None else AvailabilityTracker()
+        for store in self.stores:
+            self.tracker.attach(store)
+        self.sim = self.stores[0].group.sim
+        self._clock = 0
+        self._next_txid = 1
+        self._committing: Optional[int] = None
+        self.epoch = 0
+        self.active: Dict[int, Transaction] = {}
+        self.graph = SerializationGraph()
+        self.history: List[CommittedTxn] = []
+        # Read observations for the read-your-writes / staleness
+        # invariants: what each read served, from where, and whether
+        # the durable copy consulted was behind the snapshot.
+        self.observations: List[Dict[str, object]] = []
+        self.commits = 0
+        self.aborts_ww = 0
+        self.aborts_ssi = 0
+        self.aborts_unavailable = 0
+        self.aborts_failover = 0
+        self.aborts_user = 0
+
+    # -- placement ---------------------------------------------------------------
+
+    def locate(self, key: bytes) -> int:
+        """Owning group index for a key (consistent hash)."""
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "little") % len(self.stores)
+
+    def _tick(self) -> int:
+        self._clock = max(self._clock + 1, self.sim.now)
+        return self._clock
+
+    def _check_active(self, txn: Transaction) -> None:
+        if txn.status != "active" or txn.epoch != self.epoch:
+            raise TxnAborted(
+                txn.txid,
+                txn.abort_reason or "stale-epoch",
+                f"status={txn.status} epoch={txn.epoch}/{self.epoch}",
+            )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def begin(self, task: Task) -> Generator:
+        """Open a transaction; returns the :class:`Transaction`.
+
+        Blocks while a commit is publishing so the snapshot cannot
+        observe a half-visible transaction.
+        """
+        while self._committing is not None:
+            yield from task.sleep(2_000)
+        txn = Transaction(
+            txid=self._next_txid, snapshot_ts=self._tick(), epoch=self.epoch
+        )
+        self._next_txid += 1
+        self.active[txn.txid] = txn
+        if TRACER.enabled:
+            TRACER.count("txn.begin")
+            TRACER.record(
+                self.sim.now,
+                "B",
+                "txn",
+                f"T{txn.txid}",
+                pid=f"txn:{self.name}",
+                tid=task.name,
+                args={"snapshot_ts": txn.snapshot_ts},
+            )
+        return txn
+
+    def read(self, task: Task, txn: Transaction, key: bytes) -> Generator:
+        """Snapshot read; returns the value (``None`` = never written).
+
+        Own buffered writes win (read-your-writes). Otherwise the
+        owning group serves the newest version at the snapshot,
+        reading the durable slot from an Available-Copies-eligible
+        replica as a cross-check: the slot may legitimately hold a
+        *newer* record (installed after our snapshot, or an orphan of
+        an unfinished commit) — both invisible here — but never an
+        older one, which would mean a stale copy served a read.
+        """
+        self._check_active(txn)
+        if key in txn.writes:
+            self.observations.append(
+                {
+                    "txid": txn.txid,
+                    "kind": "own-write",
+                    "key": key,
+                    "value": txn.writes[key],
+                    "replica": None,
+                    "stale": False,
+                }
+            )
+            return txn.writes[key]
+        index = self.locate(key)
+        store = self.stores[index]
+        if not store.has_slot(key):
+            # Never written anywhere: the initial state, no network.
+            txn.reads.setdefault(key, 0)
+            self._note_read_edges(txn, store, key)
+            self.observations.append(
+                {
+                    "txid": txn.txid,
+                    "kind": "miss",
+                    "key": key,
+                    "value": None,
+                    "replica": None,
+                    "stale": False,
+                }
+            )
+            return None
+        try:
+            replica = yield from self.tracker.choose(task, index)
+        except NoAvailableCopy as exc:
+            self._abort(txn, "unavailable")
+            raise TxnAborted(txn.txid, "unavailable", str(exc)) from None
+        durable = yield from store.read_durable(task, key, replica)
+        # The yields above may span a failover reset; never record an
+        # observation (or an edge) for a zombie attempt.
+        self._check_active(txn)
+        version = store.version_at(key, txn.snapshot_ts)
+        if version is None:
+            value, seen_ts = None, 0
+            stale = False
+        else:
+            value, seen_ts = version.value, version.commit_ts
+            stale = durable is None or durable[0] < version.commit_ts
+        txn.reads.setdefault(key, seen_ts)
+        self._note_read_edges(txn, store, key)
+        self.observations.append(
+            {
+                "txid": txn.txid,
+                "kind": "snapshot",
+                "key": key,
+                "value": value,
+                "replica": replica,
+                "stale": stale,
+            }
+        )
+        if TRACER.enabled:
+            TRACER.count("txn.read")
+        return value
+
+    def _note_read_edges(
+        self, txn: Transaction, store: VersionedGroupStore, key: bytes
+    ) -> None:
+        # Reader precedes any committed writer whose version it cannot
+        # see (committed after our snapshot)...
+        latest = store.latest(key)
+        if latest is not None and latest.commit_ts > txn.snapshot_ts:
+            self.graph.add_rw(txn.txid, latest.txid)
+        # ...and any concurrent transaction with the key in its write
+        # set. (The symmetric case — they write after we read — is
+        # recorded by ``write``/``commit``.)
+        for other in self.active.values():
+            if other.txid != txn.txid and key in other.writes:
+                self.graph.add_rw(txn.txid, other.txid)
+
+    def write(self, txn: Transaction, key: bytes, value: bytes) -> None:
+        """Buffer a write (visible to this transaction's reads only)."""
+        self._check_active(txn)
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("values are bytes")
+        txn.writes[key] = bytes(value)
+        # Concurrent readers of this key logically precede us.
+        for other in self.active.values():
+            if other.txid != txn.txid and key in other.reads:
+                self.graph.add_rw(other.txid, txn.txid)
+        if TRACER.enabled:
+            TRACER.count("txn.write")
+
+    def abort(self, txn: Transaction, reason: str = "user") -> None:
+        """Caller-initiated abort; idempotent."""
+        if txn.status != "active":
+            return
+        self._abort(txn, reason)
+
+    def _abort(self, txn: Transaction, reason: str) -> None:
+        txn.status = "aborted"
+        txn.abort_reason = reason
+        self.active.pop(txn.txid, None)
+        self.graph.forget(txn.txid)
+        counter = {
+            "ww-conflict": "aborts_ww",
+            "ssi-pivot": "aborts_ssi",
+            "unavailable": "aborts_unavailable",
+            "failover": "aborts_failover",
+        }.get(reason, "aborts_user")
+        setattr(self, counter, getattr(self, counter) + 1)
+        if TRACER.enabled:
+            TRACER.count(f"txn.abort.{reason}")
+            TRACER.record(
+                self.sim.now,
+                "E",
+                "txn",
+                f"T{txn.txid}",
+                pid=f"txn:{self.name}",
+                args={"outcome": f"abort:{reason}"},
+            )
+
+    def commit(self, task: Task, txn: Transaction) -> Generator:
+        """Commit; returns the commit timestamp or raises
+        :class:`TxnAborted` (the transaction is already cleaned up)."""
+        self._check_active(txn)
+        if not txn.writes:
+            # Read-only: nothing to validate or install. It still
+            # enters the history — its reads are wr/rw edge endpoints
+            # for the offline checker — but it can never be a pivot
+            # (no writes means no incoming rw edge matters).
+            return self._finalize(txn)
+        while self._committing is not None:
+            yield from task.sleep(2_000)
+        self._check_active(txn)
+        self._committing = txn.txid
+        try:
+            # First-committer-wins: any committed version of a
+            # write-set key newer than our snapshot aborts us.
+            for key in sorted(txn.writes):
+                latest = self.stores[self.locate(key)].latest(key)
+                if latest is not None and latest.commit_ts > txn.snapshot_ts:
+                    self._abort(txn, "ww-conflict")
+                    raise TxnAborted(
+                        txn.txid,
+                        "ww-conflict",
+                        f"{key!r} written by T{latest.txid} after our snapshot",
+                    )
+            # Refresh rw edges from readers that began after our writes.
+            for key in sorted(txn.writes):
+                for other in self.active.values():
+                    if other.txid != txn.txid and key in other.reads:
+                        self.graph.add_rw(other.txid, txn.txid)
+            if self.mode == "ssi":
+                detail = self.graph.pivot_detail(txn.txid)
+                if detail is not None:
+                    self._abort(txn, "ssi-pivot")
+                    raise TxnAborted(txn.txid, "ssi-pivot", detail)
+            commit_ts = self._tick()
+            per_group: Dict[int, List[Tuple[bytes, bytes]]] = {}
+            for key in sorted(txn.writes):
+                per_group.setdefault(self.locate(key), []).append(
+                    (key, txn.writes[key])
+                )
+            for index in sorted(per_group):
+                yield from self.stores[index].install(
+                    task, per_group[index], commit_ts, txn.txid
+                )
+            # Every group installed durably; publish synchronously so
+            # visibility is all-or-nothing across groups.
+            for index in sorted(per_group):
+                self.stores[index].publish(per_group[index], commit_ts, txn.txid)
+            return self._finalize(txn, commit_ts)
+        finally:
+            if self._committing == txn.txid:
+                self._committing = None
+
+    def _finalize(self, txn: Transaction, commit_ts: Optional[int] = None) -> int:
+        if commit_ts is None:
+            commit_ts = self._tick()
+        txn.status = "committed"
+        self.active.pop(txn.txid, None)
+        self.history.append(
+            CommittedTxn(
+                txid=txn.txid,
+                begin_ts=txn.snapshot_ts,
+                commit_ts=commit_ts,
+                reads=dict(txn.reads),
+                writes=tuple(sorted(txn.writes)),
+            )
+        )
+        self.commits += 1
+        if TRACER.enabled:
+            TRACER.count("txn.commit")
+            TRACER.record(
+                self.sim.now,
+                "E",
+                "txn",
+                f"T{txn.txid}",
+                pid=f"txn:{self.name}",
+                args={"outcome": "commit", "commit_ts": commit_ts},
+            )
+        return commit_ts
+
+    # -- failover ------------------------------------------------------------------
+
+    def reset_after_failover(self, task: Task, index: int, new_group) -> Generator:
+        """Re-point group ``index`` at its repaired chain and clean up.
+
+        Every transaction of the old epoch aborts (a commit parked on
+        the dead chain's ack never resumes; resumable stragglers die
+        at their next ``_check_active``), the commit latch is cleared,
+        the store rebinds, and its WAL recovers (stale lock broken,
+        pending records drained). Returns drained-record count.
+        """
+        self.epoch += 1
+        for txn in list(self.active.values()):
+            self._abort(txn, "failover")
+        self._committing = None
+        store = self.stores[index]
+        store.rebind(new_group)
+        executed = yield from store.recover(task)
+        if TRACER.enabled:
+            TRACER.count("txn.failover_reset")
+        return executed
+
+    # -- introspection -------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "commits": self.commits,
+            "aborts_ww": self.aborts_ww,
+            "aborts_ssi": self.aborts_ssi,
+            "aborts_unavailable": self.aborts_unavailable,
+            "aborts_failover": self.aborts_failover,
+            "aborts_user": self.aborts_user,
+        }

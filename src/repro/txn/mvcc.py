@@ -1,0 +1,249 @@
+"""Versioned key storage over one replica group's WAL path.
+
+Each :class:`VersionedGroupStore` owns the keys placed on one
+``HyperLoopGroup``. Durable state rides the existing §5 recipe — a
+commit's writes for the group become one WAL record installed through
+``TransactionManager.transact`` (gWRITE append, gCAS group lock,
+gMEMCPY ExecuteAndAdvance, gCAS unlock) — so every replicated-log
+guarantee (atomic record application, redo idempotence, durability
+before execution) carries over unchanged.
+
+On top of that, the store keeps the *version chain* snapshot reads
+need: an in-memory, coordinator-side history of committed versions per
+key (the client is the transaction coordinator; its memory of what it
+committed is authoritative, exactly like the replicated log's
+client-side head/tail). Each key owns one fixed-size DB slot holding
+the newest **installed** version as a self-describing record
+(:func:`~repro.storage.encoding.encode_version_record`), so one-sided
+replica reads can distinguish a visible version from a newer one — or
+from an orphan left by a commit that installed durably but crashed
+before publishing.
+
+``rebind``/``recover`` are the failover half: after ``ChainRepair``
+splices in a replacement, the store points its manager at the new
+group, replaces the WAL mutex (the old one may be held forever by a
+task parked on the dead chain's ack), breaks the stale group lock the
+crashed commit may have left in the copied image, and drains pending
+records so the ring cannot fill with orphans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..hw.cpu import Task
+from ..sim import Resource
+from ..storage.encoding import decode_version_record, encode_version_record
+from ..storage.transactions import TransactionManager
+
+__all__ = ["Version", "VersionedGroupStore", "SlotExhausted"]
+
+
+class SlotExhausted(RuntimeError):
+    """The group's DB area has no free slot for a new key."""
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a key."""
+
+    commit_ts: int
+    txid: int
+    value: bytes
+
+
+class VersionedGroupStore:
+    """Versioned keys on one replica group.
+
+    Parameters
+    ----------
+    manager:
+        The group's :class:`~repro.storage.transactions.TransactionManager`;
+        commit installs ride its ``transact``.
+    slot_size:
+        Bytes per key slot (version header + key + value must fit).
+    """
+
+    def __init__(
+        self,
+        manager: TransactionManager,
+        slot_size: int = 256,
+        name: str = "vstore",
+    ):
+        self.manager = manager
+        self.slot_size = slot_size
+        self.name = name
+        # Mirror the sharded store's convention of reserving the final
+        # 16 bytes of the DB area (the 2PC decision slot) so layouts
+        # stay interchangeable.
+        usable = manager.layout.db_size - 16
+        self.n_slots = usable // slot_size
+        if self.n_slots < 1:
+            raise ValueError("DB area too small for a single version slot")
+        self._slots: Dict[bytes, int] = {}  # key -> slot index
+        self.versions: Dict[bytes, List[Version]] = {}  # ascending commit_ts
+        self.installs = 0
+
+    @property
+    def group(self):
+        return self.manager.group
+
+    # -- placement ---------------------------------------------------------------
+
+    def has_slot(self, key: bytes) -> bool:
+        return key in self._slots
+
+    def slot_offset(self, key: bytes) -> int:
+        """DB offset of the key's slot, assigning one on first write.
+
+        Assignment is sequential in first-write order — deterministic,
+        because commits are serialized by the coordinator.
+        """
+        index = self._slots.get(key)
+        if index is None:
+            index = len(self._slots)
+            if index >= self.n_slots:
+                raise SlotExhausted(
+                    f"{self.name}: {self.n_slots} slots exhausted at key {key!r}"
+                )
+            self._slots[key] = index
+        return index * self.slot_size
+
+    # -- commit path ---------------------------------------------------------------
+
+    def install(
+        self,
+        task: Task,
+        items: Sequence[Tuple[bytes, bytes]],
+        commit_ts: int,
+        txid: int,
+    ) -> Generator:
+        """Durably install a commit's writes for this group.
+
+        One WAL record carries every slot update, so the group's
+        changes apply atomically on all replicas. Visibility is
+        separate: callers :meth:`publish` only after *every*
+        participant group installed.
+        """
+        changes = []
+        for key, value in items:
+            record = encode_version_record(commit_ts, txid, key, value)
+            if len(record) > self.slot_size:
+                raise ValueError(
+                    f"{self.name}: versioned record of {len(record)}B "
+                    f"exceeds slot of {self.slot_size}B"
+                )
+            changes.append((self.slot_offset(key), record))
+        yield from self.manager.transact(task, changes)
+        self.installs += 1
+
+    def publish(
+        self, items: Sequence[Tuple[bytes, bytes]], commit_ts: int, txid: int
+    ) -> None:
+        """Make installed versions visible to snapshot reads.
+
+        Synchronous (no yields): all of a transaction's versions
+        appear atomically with respect to every other task.
+        """
+        for key, value in items:
+            self.versions.setdefault(key, []).append(Version(commit_ts, txid, value))
+
+    # -- snapshot reads -----------------------------------------------------------
+
+    def version_at(self, key: bytes, ts: int) -> Optional[Version]:
+        """Newest published version visible at snapshot ``ts``."""
+        chain = self.versions.get(key)
+        if not chain:
+            return None
+        for version in reversed(chain):
+            if version.commit_ts <= ts:
+                return version
+        return None
+
+    def latest(self, key: bytes) -> Optional[Version]:
+        """Newest published version of a key (any snapshot)."""
+        chain = self.versions.get(key)
+        return chain[-1] if chain else None
+
+    def read_durable(self, task: Task, key: bytes, replica: int) -> Generator:
+        """One-sided read of the key's slot from a replica.
+
+        Returns the decoded ``(commit_ts, txid, key, value)`` record,
+        or ``None`` for an empty/torn slot, a slot the key was never
+        assigned, or a record belonging to a different key (possible
+        only through corruption — slots are never shared).
+        """
+        index = self._slots.get(key)
+        if index is None:
+            return None
+        raw = yield from self.group.pread(
+            task,
+            replica,
+            self.manager.layout.db_position(index * self.slot_size),
+            self.slot_size,
+        )
+        decoded = decode_version_record(raw)
+        if decoded is None or decoded[2] != key:
+            return None
+        return decoded
+
+    def read_durable_offline(self, replica: int, key: bytes):
+        """Test/invariant hook: decode a replica's slot without the sim."""
+        index = self._slots.get(key)
+        if index is None:
+            return None
+        raw = self.group.read_replica(
+            replica, self.manager.layout.db_position(index * self.slot_size), self.slot_size
+        )
+        decoded = decode_version_record(raw)
+        if decoded is None or decoded[2] != key:
+            return None
+        return decoded
+
+    # -- failover ------------------------------------------------------------------
+
+    def rebind(self, new_group) -> None:
+        """Point the store at the repaired group.
+
+        The replicated log's client-side state (head/tail/next_lsn) is
+        authoritative and survives; the repair installed the full
+        region image, so the new client mirror and replica WALs match
+        it. The WAL mutex is replaced wholesale — a commit parked on
+        the dead chain's ack event may hold the old one forever.
+        """
+        self.manager.group = new_group
+        self.manager.log.group = new_group
+        self.manager.log._mutex = Resource(
+            new_group.sim, capacity=1, name="wal.mutex"
+        )
+        self.manager.locks.group = new_group
+
+    def recover(self, task: Task) -> Generator:
+        """Post-repair cleanup: break our stale lock, drain the WAL.
+
+        If the dead commit crashed inside the critical section, the
+        image copied from the survivor has the group lock word set to
+        our writer id — clear it, then execute whatever the client
+        mirror says is pending (orphans included; readers ignore them
+        by version metadata). Returns the number of records drained.
+        """
+        manager = self.manager
+        raw = yield from self.group.pread(
+            task, 0, manager.layout.lock_offset, 8
+        )
+        holder = int.from_bytes(raw, "little") & 0xFFFF_FFFF
+        if holder == manager.writer_id:
+            yield from self.group.gcas(task, manager.layout.lock_offset, holder, 0)
+        yield from manager.locks.wr_lock(task, manager.writer_id)
+        try:
+            executed = yield from manager.drain(task)
+        finally:
+            yield from manager.locks.wr_unlock(task, manager.writer_id)
+        return executed
+
+    def __repr__(self) -> str:
+        return (
+            f"<VersionedGroupStore {self.name} keys={len(self._slots)} "
+            f"installs={self.installs}>"
+        )

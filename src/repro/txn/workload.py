@@ -1,0 +1,278 @@
+"""Deterministic multi-group transaction workload (`python -m repro txn`).
+
+Builds N replica groups on one cluster, layers the SSI coordinator
+over them, and drives a seeded mix of transaction shapes from
+concurrent worker tasks:
+
+* ``rmw`` — read a key, write back a bumped value.
+* ``transfer`` — read two keys (usually on different groups), move a
+  unit between them; the cross-group commit exercises the sorted
+  multi-group install path.
+* ``readonly`` — scan a few keys; populates wr/rw edges without ever
+  being abortable.
+* ``write-skew pairs`` — the SI litmus test: two transactions
+  rendezvous so each reads both of a key pair, then each writes the
+  *other* key, then both try to commit. Plain SI admits both (the
+  offline checker then finds the rw/rw cycle); SSI must abort exactly
+  one per pair.
+
+Everything is a pure function of ``(seed, parameters)``: key choices
+and values come from named ``sim.rng`` streams, timestamps from the
+virtual clock, and the report renders no wall-clock state — CI runs
+the workload twice (and across ``REPRO_FAST_DISPATCH`` modes) and
+byte-diffs the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bench.harness import run_until
+from ..core.group import HyperLoopGroup
+from ..hw.host import Cluster
+from ..sim import MS, Simulator
+from ..storage.transactions import TransactionManager
+from .available_copies import AvailabilityTracker
+from .coordinator import TxnAborted, TxnCoordinator
+from .mvcc import VersionedGroupStore
+from .ssi import describe_cycle
+
+__all__ = ["TxnWorkloadReport", "build_txn_system", "run_txn_workload"]
+
+
+@dataclass
+class TxnWorkloadReport:
+    """Deterministic outcome of one workload run."""
+
+    seed: int
+    mode: str
+    n_groups: int
+    attempted: int
+    commits: int
+    aborts_ww: int
+    aborts_ssi: int
+    aborts_other: int
+    reads: int
+    failovers: int
+    anomaly: str
+    sim_ms: float
+    mix: List[Tuple[str, int, int]] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def aborts(self) -> int:
+        return self.aborts_ww + self.aborts_ssi + self.aborts_other
+
+    def render(self) -> str:
+        lines = [
+            f"=== txn workload (seed {self.seed}, mode {self.mode}, "
+            f"{self.n_groups} groups)",
+            f"    attempted={self.attempted} committed={self.commits} "
+            f"aborted={self.aborts} "
+            f"(ww={self.aborts_ww} ssi={self.aborts_ssi} other={self.aborts_other})",
+            f"    reads={self.reads} failovers={self.failovers} "
+            f"sim_time={self.sim_ms:.3f}ms",
+        ]
+        for name, attempts, committed in self.mix:
+            rate = 100.0 * (attempts - committed) / attempts if attempts else 0.0
+            lines.append(
+                f"    mix {name}: {committed}/{attempts} committed "
+                f"(abort rate {rate:.1f}%)"
+            )
+        lines.append(f"    serialization anomaly: {self.anomaly}")
+        for error in self.errors:
+            lines.append(f"    error: {error}")
+        return "\n".join(lines)
+
+
+def build_txn_system(
+    sim: Simulator,
+    cluster: Cluster,
+    n_groups: int = 2,
+    region_size: int = 1 << 14,
+    mode: str = "ssi",
+    name: str = "txn",
+    replica_hosts=None,
+) -> TxnCoordinator:
+    """Groups + versioned stores + coordinator on an existing cluster.
+
+    All groups share the same replica hosts (partitions-per-server, as
+    the sharding layer does); pass ``replica_hosts`` to override.
+    """
+    hosts = replica_hosts if replica_hosts is not None else cluster.hosts[1:4]
+    stores = []
+    for index in range(n_groups):
+        group = HyperLoopGroup(
+            cluster[0],
+            hosts,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.g{index}",
+        )
+        manager = TransactionManager(group, writer_id=index + 1)
+        stores.append(
+            VersionedGroupStore(manager, name=f"{name}.s{index}")
+        )
+    tracker = AvailabilityTracker()
+    return TxnCoordinator(stores, mode=mode, tracker=tracker, name=name)
+
+
+def run_txn_workload(
+    seed: int = 7,
+    mode: str = "ssi",
+    n_groups: int = 2,
+    n_txns: int = 24,
+    n_workers: int = 3,
+    write_skew_pairs: int = 2,
+    deadline_ms: int = 10_000,
+) -> TxnWorkloadReport:
+    """Run the full mix; returns the deterministic report."""
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    coordinator = build_txn_system(sim, cluster, n_groups=n_groups, mode=mode)
+
+    keys = [f"k{index:02d}".encode() for index in range(12)]
+    skew_keys = [
+        (f"ws{pair}x".encode(), f"ws{pair}y".encode())
+        for pair in range(write_skew_pairs)
+    ]
+    rng = sim.rng("txn-ops")
+
+    # Per-worker op plans, drawn up-front from one named stream.
+    plans: List[List[Tuple]] = []
+    per_worker = max(1, n_txns // n_workers)
+    for _ in range(n_workers):
+        plan = []
+        for _ in range(per_worker):
+            kind = rng.choice(["rmw", "rmw", "transfer", "readonly"])
+            if kind == "rmw":
+                plan.append(("rmw", rng.choice(keys)))
+            elif kind == "transfer":
+                first, second = rng.sample(keys, 2)
+                plan.append(("transfer", first, second))
+            else:
+                plan.append(("readonly", tuple(rng.sample(keys, 3))))
+        plans.append(plan)
+
+    mix_attempts: Dict[str, int] = {}
+    mix_commits: Dict[str, int] = {}
+    errors: List[str] = []
+    progress = {"init": False, "workers": 0, "pairs": 0}
+
+    def bump(value: Optional[bytes]) -> bytes:
+        current = int.from_bytes(value or b"\x00", "little")
+        return ((current + 1) & 0xFFFFFFFF).to_bytes(8, "little")
+
+    def init_body(task):
+        txn = yield from coordinator.begin(task)
+        for key in keys:
+            coordinator.write(txn, key, (1).to_bytes(8, "little"))
+        for x_key, y_key in skew_keys:
+            coordinator.write(txn, x_key, (1).to_bytes(8, "little"))
+            coordinator.write(txn, y_key, (1).to_bytes(8, "little"))
+        yield from coordinator.commit(task, txn)
+        progress["init"] = True
+
+    def run_spec(task, spec):
+        name = spec[0]
+        mix_attempts[name] = mix_attempts.get(name, 0) + 1
+        txn = yield from coordinator.begin(task)
+        try:
+            if name == "rmw":
+                value = yield from coordinator.read(task, txn, spec[1])
+                coordinator.write(txn, spec[1], bump(value))
+            elif name == "transfer":
+                first = yield from coordinator.read(task, txn, spec[1])
+                second = yield from coordinator.read(task, txn, spec[2])
+                coordinator.write(txn, spec[1], bump(first))
+                coordinator.write(txn, spec[2], bump(second))
+            else:
+                for key in spec[1]:
+                    yield from coordinator.read(task, txn, key)
+            yield from coordinator.commit(task, txn)
+            mix_commits[name] = mix_commits.get(name, 0) + 1
+        except TxnAborted:
+            pass
+
+    def worker_body(worker):
+        def body(task):
+            for spec in plans[worker]:
+                yield from run_spec(task, spec)
+            progress["workers"] += 1
+
+        return body
+
+    # Write-skew pairs: a tiny rendezvous makes the overlap certain —
+    # both sides read both keys before either writes, so the rw cycle
+    # exists whenever both commit.
+    def skew_body(pair, side):
+        x_key, y_key = skew_keys[pair]
+        rendezvous = skew_state[pair]
+
+        def body(task):
+            mix_attempts["write-skew"] = mix_attempts.get("write-skew", 0) + 1
+            txn = yield from coordinator.begin(task)
+            try:
+                yield from coordinator.read(task, txn, x_key)
+                yield from coordinator.read(task, txn, y_key)
+                rendezvous[side] = True
+                while not (rendezvous[0] and rendezvous[1]):
+                    yield from task.sleep(5_000)
+                coordinator.write(
+                    txn, y_key if side == 0 else x_key, (0).to_bytes(8, "little")
+                )
+                yield from coordinator.commit(task, txn)
+                mix_commits["write-skew"] = mix_commits.get("write-skew", 0) + 1
+            except TxnAborted:
+                pass
+            progress["pairs"] += 1
+
+        return body
+
+    skew_state = [[False, False] for _ in range(write_skew_pairs)]
+
+    cluster[0].os.spawn(init_body, name="txn.init")
+    run_until(sim, lambda: progress["init"], deadline_ms=deadline_ms)
+    for worker in range(n_workers):
+        cluster[0].os.spawn(worker_body(worker), name=f"txn.w{worker}")
+    for pair in range(write_skew_pairs):
+        for side in range(2):
+            cluster[0].os.spawn(
+                skew_body(pair, side), name=f"txn.ws{pair}.{side}"
+            )
+    run_until(
+        sim,
+        lambda: progress["workers"] == n_workers
+        and progress["pairs"] == 2 * write_skew_pairs,
+        deadline_ms=deadline_ms,
+    )
+    sim.run(until=sim.now + 2 * MS)
+
+    for store in coordinator.stores:
+        errors.extend(store.group.errors)
+
+    mix = [
+        (name, mix_attempts[name], mix_commits.get(name, 0))
+        for name in sorted(mix_attempts)
+    ]
+    return TxnWorkloadReport(
+        seed=seed,
+        mode=mode,
+        n_groups=n_groups,
+        attempted=1 + sum(mix_attempts.values()),
+        commits=coordinator.commits,
+        aborts_ww=coordinator.aborts_ww,
+        aborts_ssi=coordinator.aborts_ssi,
+        aborts_other=coordinator.aborts_unavailable
+        + coordinator.aborts_failover
+        + coordinator.aborts_user,
+        reads=sum(
+            1 for obs in coordinator.observations if obs["kind"] != "own-write"
+        ),
+        failovers=coordinator.tracker.failovers,
+        anomaly=describe_cycle(coordinator.history),
+        sim_ms=sim.now / MS,
+        mix=mix,
+        errors=errors[:3],
+    )

@@ -26,6 +26,7 @@ class TestCompoundScenarios:
             "double-crash",
             "stall-lossy",
             "client-crash",
+            "txn-chaos",
         }
         for name in COMPOUND_SCENARIOS:
             assert name in SCENARIOS
@@ -67,6 +68,15 @@ class TestCompoundScenarios:
         assert _invariant(report, "no-acked-write-lost").ok
         assert _invariant(report, "replicas-identical").ok
         assert any("re-issued" in note for note in report.notes)
+
+    def test_txn_chaos_catches_write_skew_on_lossy_fabric(self):
+        report = run_scenario("txn-chaos", seed=7)
+        assert report.passed, "\n" + report.render()
+        assert _invariant(report, "fault-exercised").ok
+        assert _invariant(report, "write-skew-caught").ok
+        assert _invariant(report, "no-serialization-anomaly").ok
+        assert _invariant(report, "read-your-writes-failover").ok
+        assert _invariant(report, "no-acked-write-lost").ok
 
     @pytest.mark.parametrize("scenario", ["partition-repair", "client-crash"])
     def test_same_seed_renders_byte_identical(self, scenario):

@@ -6,7 +6,7 @@ from repro.bench import run_until
 from repro.core import HyperLoopGroup
 from repro.hw import Cluster
 from repro.sim import Simulator
-from repro.storage.sharding import ShardedStore
+from repro.storage.sharding import BucketCollisionError, ShardedStore
 from repro.storage.transactions import TransactionManager
 
 
@@ -112,6 +112,69 @@ class TestOps:
 
         drive(sim, cluster, body)
         assert store.coordinator.commits == 0  # single-shard fast path
+
+    def test_bucket_collision_raises_instead_of_overwriting(self):
+        # Regression: two distinct keys hashing to the same (shard,
+        # bucket) used to silently overwrite — the first key's write
+        # acked, then its value vanished (get() saw a foreign key and
+        # returned None). Now the second put must refuse.
+        sim, cluster, store = make()
+        by_bucket = {}
+        collision = None
+        for index in range(100_000):
+            key = f"collide{index}".encode()
+            slot = store.locate(key)
+            if slot in by_bucket:
+                collision = (by_bucket[slot], key)
+                break
+            by_bucket[slot] = key
+        assert collision is not None, "no colliding pair found in 100k keys"
+        first, second = collision
+
+        def body(task):
+            yield from store.put(task, first, b"first-value")
+            with pytest.raises(BucketCollisionError):
+                yield from store.put(task, second, b"second-value")
+            # The victim's acked write is still durable and readable.
+            value = yield from store.get(task, first)
+            return value
+
+        assert drive(sim, cluster, body) == b"first-value"
+
+    def test_bucket_collision_caught_in_batches(self):
+        sim, cluster, store = make()
+        by_bucket = {}
+        collision = None
+        for index in range(100_000):
+            key = f"batch{index}".encode()
+            slot = store.locate(key)
+            if slot in by_bucket:
+                collision = (by_bucket[slot], key)
+                break
+            by_bucket[slot] = key
+        assert collision is not None
+        first, second = collision
+
+        def body(task):
+            with pytest.raises(BucketCollisionError):
+                yield from store.put_many(
+                    task, [(first, b"a"), (second, b"b")]
+                )
+            yield from task.sleep(0)
+            return True
+
+        drive(sim, cluster, body)
+
+    def test_rewriting_the_same_key_is_not_a_collision(self):
+        sim, cluster, store = make()
+
+        def body(task):
+            yield from store.put(task, b"samekey", b"v1")
+            yield from store.put(task, b"samekey", b"v2")
+            value = yield from store.get(task, b"samekey")
+            return value
+
+        assert drive(sim, cluster, body) == b"v2"
 
     def test_values_survive_on_all_replicas(self):
         sim, cluster, store = make()

@@ -1,0 +1,253 @@
+"""Integration tests: transactions under replica failure.
+
+The two hard cases from the ISSUE:
+
+* a commit spanning two groups parks mid-2PC when a participant
+  replica crashes — failover must abort the epoch, repair the chain,
+  drain the WAL, and let the client replay, with no double-commit from
+  the abandoned attempt and no serialization anomaly;
+* Available-Copies re-validation — a crashed-then-restarted replica
+  must stay out of read rotation until an acked chain write has
+  traversed it again (ChainRepair's image install qualifies).
+"""
+
+from repro.bench import run_until
+from repro.core import HyperLoopGroup
+from repro.faults.invariants import (
+    check_no_serialization_anomaly,
+    check_read_your_writes,
+    check_txn_acked_writes,
+)
+from repro.hw import Cluster
+from repro.sim import MS, Simulator
+from repro.storage.recovery import ChainRepair, HeartbeatMonitor
+from repro.storage.transactions import TransactionManager
+from repro.txn import (
+    AvailabilityTracker,
+    TxnAborted,
+    TxnCoordinator,
+    VersionedGroupStore,
+)
+
+
+def drive(sim, cluster, body, until_ms=20_000):
+    done = {}
+
+    def wrapper(task):
+        done["r"] = yield from body(task)
+
+    task = cluster[0].os.spawn(wrapper, "client")
+    run_until(
+        sim, lambda: "r" in done or task.process.triggered, deadline_ms=until_ms
+    )
+    if task.process.triggered and not task.process.ok:
+        raise task.process.value
+    return done["r"]
+
+
+def build_two_group_system(sim, cluster, name):
+    client = cluster[0]
+    generation = [0]
+
+    def factory(members):
+        generation[0] += 1
+        return HyperLoopGroup(
+            client, members, region_size=1 << 14, rounds=16,
+            name=f"{name}.a{generation[0]}",
+        )
+
+    group_a = HyperLoopGroup(
+        client, cluster.hosts[1:4], region_size=1 << 14, rounds=16,
+        name=f"{name}.a0",
+    )
+    group_b = HyperLoopGroup(
+        client, cluster.hosts[4:7], region_size=1 << 14, rounds=16,
+        name=f"{name}.b",
+    )
+    stores = [
+        VersionedGroupStore(TransactionManager(group_a, writer_id=1), name="s0"),
+        VersionedGroupStore(TransactionManager(group_b, writer_id=2), name="s1"),
+    ]
+    tracker = AvailabilityTracker()
+    coordinator = TxnCoordinator(stores, mode="ssi", tracker=tracker, name=name)
+    return coordinator, tracker, factory, group_a
+
+
+class TestMid2pcCrash:
+    def test_replica_crash_mid_commit_replays_without_double_commit(self):
+        sim = Simulator(seed=31)
+        cluster = Cluster(sim, n_hosts=8, n_cores=4)
+        client = cluster[0]
+        spare = cluster[7]
+        coordinator, tracker, factory, group_a = build_two_group_system(
+            sim, cluster, "mid2pc"
+        )
+        monitor = HeartbeatMonitor(
+            client, cluster.hosts[1:4], interval=2 * MS, miss_threshold=3,
+            name="mid2pc.hb",
+        )
+        pause_hook = tracker.on_repair_phase(0)
+        repairer = ChainRepair(client, group_a, factory, on_phase=pause_hook)
+
+        # Enough keys that the commit installs on both groups and the
+        # in-flight window is wide.
+        keys = [f"w{index:02d}".encode() for index in range(12)]
+        spans_both = {coordinator.locate(key) for key in keys}
+        assert spans_both == {0, 1}, "keys must span both groups"
+
+        def seed(task):
+            txn = yield from coordinator.begin(task)
+            for key in keys:
+                coordinator.write(txn, key, b"\x01" * 8)
+            yield from coordinator.commit(task, txn)
+            return True
+
+        assert drive(sim, cluster, seed)
+
+        progress = {"committing": False, "outcome": None, "rebound": False}
+
+        def doomed(task):
+            txn = yield from coordinator.begin(task)
+            for key in keys:
+                coordinator.write(txn, key, b"\x02" * 8)
+            progress["committing"] = True
+            try:
+                yield from coordinator.commit(task, txn)
+                progress["outcome"] = "committed"
+            except TxnAborted as exc:
+                progress["outcome"] = f"aborted:{exc.reason}"
+
+        def recoverer(task):
+            index = yield from monitor.wait_for_suspicion(task)
+            monitor.stop_beats(index)
+            yield from repairer.repair(
+                task, index, spare, copy_from=0 if index != 0 else 1
+            )
+            yield from coordinator.reset_after_failover(task, 0, repairer.group)
+            progress["rebound"] = True
+
+        # Kill group A's mid-chain replica 50us into the commit — a
+        # full 12-key two-group commit takes ~265us of sim time, so the
+        # crash lands inside the group A install and the commit parks
+        # on the dead chain's ack forever.
+        def crasher(task):
+            while not progress["committing"]:
+                yield from task.sleep(10_000)
+            yield from task.sleep(50_000)
+            cluster[2].crash()
+
+        client.os.spawn(doomed, "mid2pc.doomed")
+        client.os.spawn(recoverer, "mid2pc.recover")
+        client.os.spawn(crasher, "mid2pc.crash")
+        run_until(sim, lambda: progress["rebound"], deadline_ms=20_000)
+
+        # The doomed attempt was aborted by the epoch reset, not
+        # committed — and its parked generator must never finish it.
+        assert coordinator.aborts_failover >= 1
+        assert progress["outcome"] in (None, "aborted:failover")
+
+        def replay_plain(task):
+            txn = yield from coordinator.begin(task)
+            for key in keys:
+                coordinator.write(txn, key, b"\x03" * 8)
+            yield from coordinator.commit(task, txn)
+            check = yield from coordinator.begin(task)
+            value = yield from coordinator.read(task, check, keys[0])
+            yield from coordinator.commit(task, check)
+            return value
+
+        assert drive(sim, cluster, replay_plain) == b"\x03" * 8
+        sim.run(until=sim.now + 5 * MS)
+
+        # Exactly seed + replay + check committed; the zombie never did.
+        assert coordinator.commits == 3
+        for key in keys:
+            store = coordinator.stores[coordinator.locate(key)]
+            chain = store.versions[key]
+            assert len(chain) == 2  # seed version + replayed version
+            assert chain[-1].value == b"\x03" * 8
+        assert check_no_serialization_anomaly(coordinator).ok
+        assert check_read_your_writes(coordinator).ok
+        assert check_txn_acked_writes(coordinator).ok
+
+
+class TestAvailableCopiesRevalidation:
+    def test_restarted_replica_excluded_until_rewritten(self):
+        sim = Simulator(seed=47)
+        cluster = Cluster(sim, n_hosts=4, n_cores=4)
+        client = cluster[0]
+        generation = [0]
+
+        def factory(members):
+            generation[0] += 1
+            return HyperLoopGroup(
+                client, members, region_size=1 << 14, rounds=16,
+                name=f"ac.g{generation[0]}",
+            )
+
+        group = HyperLoopGroup(
+            client, cluster.hosts[1:4], region_size=1 << 14, rounds=16, name="ac.g0"
+        )
+        store = VersionedGroupStore(TransactionManager(group, writer_id=1), name="ac")
+        tracker = AvailabilityTracker()
+        coordinator = TxnCoordinator([store], tracker=tracker, name="ac")
+        phases = []
+        pause_hook = tracker.on_repair_phase(0)
+
+        def on_phase(phase):
+            phases.append((phase, list(tracker.readable(0))))
+            pause_hook(phase)
+
+        repairer = ChainRepair(client, group, factory, on_phase=on_phase)
+
+        # A brand-new group serves nothing until its first acked write.
+        assert tracker.readable(0) == []
+
+        def seed(task):
+            txn = yield from coordinator.begin(task)
+            coordinator.write(txn, b"key", b"\x07" * 8)
+            yield from coordinator.commit(task, txn)
+            return True
+
+        assert drive(sim, cluster, seed)
+        assert tracker.readable(0) == [0, 1, 2]
+
+        # Head crash: reads must fail over past replica 0.
+        cluster[1].crash()
+        assert tracker.readable(0) == [1, 2]
+
+        def read_once(task):
+            txn = yield from coordinator.begin(task)
+            value = yield from coordinator.read(task, txn, b"key")
+            yield from coordinator.commit(task, txn)
+            return value
+
+        assert drive(sim, cluster, read_once) == b"\x07" * 8
+        assert tracker.failovers == 1
+
+        # Restart alone must NOT restore eligibility: the replica has
+        # not been written since recovery, so its copy is untrusted.
+        cluster[1].restart()
+        assert tracker.readable(0) == [1, 2]
+        assert 0 not in group.readable_replicas()
+
+        # Repair splices the restarted host back in as the replacement;
+        # the image install is acked chain writes, which re-validates
+        # every member of the new chain.
+        def recover(task):
+            yield from repairer.repair(task, 0, cluster[1], copy_from=1)
+            yield from coordinator.reset_after_failover(task, 0, repairer.group)
+            return True
+
+        assert drive(sim, cluster, recover)
+        # Reads were paused (empty candidate list) while the repair ran.
+        assert [phase for phase, _ in phases] == ["repair", "repair-done"]
+        assert phases[1][1] == []  # still paused when repair-done fires
+        assert tracker.readable(0) == [0, 1, 2]
+
+        # The restarted replica's durable copy is the published version.
+        durable = store.read_durable_offline(0, b"key")
+        assert durable is not None and durable[3] == b"\x07" * 8
+        assert drive(sim, cluster, read_once) == b"\x07" * 8
+        assert check_read_your_writes(coordinator).ok
+        assert check_txn_acked_writes(coordinator).ok

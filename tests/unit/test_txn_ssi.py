@@ -1,0 +1,231 @@
+"""Unit tests for the SSI transaction layer (repro.txn).
+
+Covers the serialization graph and offline anomaly checker on
+hand-built histories, and the coordinator's isolation behavior on a
+live simulated cluster: write skew aborted under SSI but admitted
+under SI (and then caught offline), first-committer-wins, snapshot
+stability across a concurrent commit, and read-your-writes.
+"""
+
+import pytest
+
+from repro.bench import run_until
+from repro.hw import Cluster
+from repro.sim import Simulator
+from repro.txn import (
+    CommittedTxn,
+    SerializationGraph,
+    TxnAborted,
+    build_serialization_edges,
+    build_txn_system,
+    describe_cycle,
+    find_cycle,
+)
+
+
+def make(mode="ssi", seed=23):
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    coordinator = build_txn_system(sim, cluster, n_groups=2, mode=mode)
+    return sim, cluster, coordinator
+
+
+def drive(sim, cluster, body, until_ms=20_000):
+    done = {}
+
+    def wrapper(task):
+        done["r"] = yield from body(task)
+
+    task = cluster[0].os.spawn(wrapper, "client")
+    run_until(
+        sim, lambda: "r" in done or task.process.triggered, deadline_ms=until_ms
+    )
+    if task.process.triggered and not task.process.ok:
+        raise task.process.value
+    return done["r"]
+
+
+def seed_keys(coordinator, task, keys):
+    txn = yield from coordinator.begin(task)
+    for key in keys:
+        coordinator.write(txn, key, b"\x01" * 8)
+    yield from coordinator.commit(task, txn)
+
+
+class TestSerializationGraph:
+    def test_pivot_requires_both_edge_directions(self):
+        graph = SerializationGraph()
+        graph.add_rw(1, 2)
+        assert graph.pivot_detail(1) is None  # out only
+        assert graph.pivot_detail(2) is None  # in only
+        graph.add_rw(2, 3)
+        assert graph.pivot_detail(2) == "T1 -rw-> T2 -rw-> T3"
+
+    def test_forget_removes_both_directions(self):
+        graph = SerializationGraph()
+        graph.add_rw(1, 2)
+        graph.add_rw(2, 3)
+        graph.forget(2)
+        graph.add_rw(4, 2)  # stale reuse must not resurrect old edges
+        assert graph.pivot_detail(2) is None
+
+    def test_self_edges_ignored(self):
+        graph = SerializationGraph()
+        graph.add_rw(5, 5)
+        assert graph.pivot_detail(5) is None
+
+
+class TestOfflineChecker:
+    def test_write_skew_history_has_a_cycle(self):
+        history = [
+            CommittedTxn(1, begin_ts=1, commit_ts=10, reads={b"x": 0, b"y": 0}, writes=(b"y",)),
+            CommittedTxn(2, begin_ts=2, commit_ts=11, reads={b"x": 0, b"y": 0}, writes=(b"x",)),
+        ]
+        cycle = find_cycle(history)
+        assert cycle is not None and set(cycle) == {1, 2}
+        assert describe_cycle(history) == "T1 -rw-> T2 -rw-> T1"
+
+    def test_serializable_history_is_clean(self):
+        history = [
+            CommittedTxn(1, begin_ts=1, commit_ts=5, reads={}, writes=(b"x",)),
+            CommittedTxn(2, begin_ts=6, commit_ts=8, reads={b"x": 5}, writes=(b"y",)),
+            CommittedTxn(3, begin_ts=9, commit_ts=12, reads={b"y": 8}, writes=()),
+        ]
+        assert find_cycle(history) is None
+        assert describe_cycle(history) == "none"
+        edges = build_serialization_edges(history)
+        assert (1, 2, "wr") in edges
+        assert (2, 3, "wr") in edges
+
+    def test_edge_kinds_over_version_order(self):
+        history = [
+            CommittedTxn(1, begin_ts=0, commit_ts=2, reads={}, writes=(b"k",)),
+            CommittedTxn(2, begin_ts=3, commit_ts=6, reads={}, writes=(b"k",)),
+            # Read version 2, overwritten first by txn 2 at ts 6.
+            CommittedTxn(3, begin_ts=4, commit_ts=9, reads={b"k": 2}, writes=()),
+        ]
+        edges = build_serialization_edges(history)
+        assert (1, 2, "ww") in edges
+        assert (1, 3, "wr") in edges
+        assert (3, 2, "rw") in edges
+
+
+class TestIsolation:
+    def _write_skew(self, mode):
+        sim, cluster, coordinator = make(mode=mode)
+        outcomes = {}
+
+        def setup(task):
+            yield from seed_keys(coordinator, task, [b"wsx", b"wsy"])
+            outcomes["seeded"] = True
+
+        drive(sim, cluster, setup)
+        rendezvous = [False, False]
+
+        def side_body(side):
+            def body(task):
+                txn = yield from coordinator.begin(task)
+                try:
+                    yield from coordinator.read(task, txn, b"wsx")
+                    yield from coordinator.read(task, txn, b"wsy")
+                    rendezvous[side] = True
+                    while not (rendezvous[0] and rendezvous[1]):
+                        yield from task.sleep(5_000)
+                    coordinator.write(
+                        txn, b"wsy" if side == 0 else b"wsx", b"\x00" * 8
+                    )
+                    yield from coordinator.commit(task, txn)
+                    outcomes[side] = "committed"
+                except TxnAborted as exc:
+                    outcomes[side] = f"aborted:{exc.reason}"
+
+            return body
+
+        for side in range(2):
+            cluster[0].os.spawn(side_body(side), f"ws{side}")
+        run_until(sim, lambda: 0 in outcomes and 1 in outcomes, deadline_ms=20_000)
+        return coordinator, outcomes
+
+    def test_write_skew_aborted_under_ssi(self):
+        coordinator, outcomes = self._write_skew("ssi")
+        results = sorted(outcomes[side] for side in range(2))
+        assert results == ["aborted:ssi-pivot", "committed"]
+        assert coordinator.aborts_ssi == 1
+        assert describe_cycle(coordinator.history) == "none"
+
+    def test_write_skew_admitted_under_si_and_caught_offline(self):
+        coordinator, outcomes = self._write_skew("si")
+        assert [outcomes[side] for side in range(2)] == ["committed", "committed"]
+        assert coordinator.aborts_ssi == 0
+        assert describe_cycle(coordinator.history) != "none"
+
+    def test_first_committer_wins(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            yield from seed_keys(coordinator, task, [b"fcw"])
+            first = yield from coordinator.begin(task)
+            second = yield from coordinator.begin(task)
+            coordinator.write(first, b"fcw", b"\x02" * 8)
+            coordinator.write(second, b"fcw", b"\x03" * 8)
+            yield from coordinator.commit(task, first)
+            with pytest.raises(TxnAborted) as exc_info:
+                yield from coordinator.commit(task, second)
+            return exc_info.value.reason
+
+        assert drive(sim, cluster, body) == "ww-conflict"
+        assert coordinator.aborts_ww == 1
+
+    def test_snapshot_stable_across_concurrent_commit(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            yield from seed_keys(coordinator, task, [b"snap"])
+            reader = yield from coordinator.begin(task)
+            before = yield from coordinator.read(task, reader, b"snap")
+            writer = yield from coordinator.begin(task)
+            coordinator.write(writer, b"snap", b"\x09" * 8)
+            yield from coordinator.commit(task, writer)
+            after = yield from coordinator.read(task, reader, b"snap")
+            yield from coordinator.commit(task, reader)
+            fresh = yield from coordinator.begin(task)
+            latest = yield from coordinator.read(task, fresh, b"snap")
+            yield from coordinator.commit(task, fresh)
+            return before, after, latest
+
+        before, after, latest = drive(sim, cluster, body)
+        assert before == after == b"\x01" * 8  # snapshot held
+        assert latest == b"\x09" * 8  # later snapshot sees the commit
+
+    def test_read_your_writes_and_unwritten_miss(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            txn = yield from coordinator.begin(task)
+            missing = yield from coordinator.read(task, txn, b"nope")
+            coordinator.write(txn, b"ryw", b"mine-own!")
+            own = yield from coordinator.read(task, txn, b"ryw")
+            yield from coordinator.commit(task, txn)
+            return missing, own
+
+        missing, own = drive(sim, cluster, body)
+        assert missing is None
+        assert own == b"mine-own!"
+
+    def test_read_only_txn_never_aborts_under_ssi(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            yield from seed_keys(coordinator, task, [b"roa", b"rob"])
+            reader = yield from coordinator.begin(task)
+            yield from coordinator.read(task, reader, b"roa")
+            writer = yield from coordinator.begin(task)
+            coordinator.write(writer, b"roa", b"\x05" * 8)
+            coordinator.write(writer, b"rob", b"\x05" * 8)
+            yield from coordinator.commit(task, writer)
+            yield from coordinator.read(task, reader, b"rob")
+            yield from coordinator.commit(task, reader)
+            return True
+
+        assert drive(sim, cluster, body)
+        assert describe_cycle(coordinator.history) == "none"
