@@ -55,6 +55,7 @@ __all__ = [
 RUNNERS: Dict[str, str] = {
     "experiment": "repro.bench.experiments:run_experiment",
     "chaos": "repro.faults.sweep:run_chaos_point",
+    "ycsb": "repro.txn.ycsb:run_ycsb_point",
 }
 """Named run targets, as ``module:callable`` import paths.
 

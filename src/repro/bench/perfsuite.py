@@ -43,6 +43,8 @@ __all__ = [
     "bench_parallel_scaling",
     "bench_sharded",
     "bench_txn_commit",
+    "bench_txn_install",
+    "bench_txn_ycsb",
     "annotate_parallel_entry",
     "annotate_sharded_entry",
     "run_suite",
@@ -378,6 +380,106 @@ def bench_txn_commit(n_txns: int = 96, seed: int = 7) -> Dict[str, Any]:
     }
 
 
+def bench_txn_install(
+    n_commits: int = 24, n_groups: int = 3, seed: int = 7
+) -> Dict[str, Any]:
+    """Multi-group commit latency: parallel installs vs the oracle.
+
+    The same serial schedule of wide commits (every key on every
+    group) runs under both install modes; the interesting number is
+    the *virtual*-time ratio — overlapped per-group installs must
+    approach max-of-groups instead of sum-of-groups. Outcomes are
+    asserted bit-identical (version chains and commit counts), and a
+    parallel path that fails to beat the sequential oracle is a
+    regression, not a data point.
+    """
+    from ..hw import Cluster
+    from ..txn import build_txn_system
+    from .harness import run_until
+
+    def run(install):
+        sim = Simulator(seed=seed)
+        cluster = Cluster(sim, n_hosts=4, n_cores=4)
+        coordinator = build_txn_system(
+            sim, cluster, n_groups=n_groups, install=install
+        )
+        keys = [f"b{index:02d}".encode() for index in range(3 * n_groups)]
+        finished: Dict[str, int] = {}
+
+        def body(task):
+            txn = yield from coordinator.begin(task)
+            for key in keys:
+                coordinator.write(txn, key, b"init0000")
+            yield from coordinator.commit(task, txn)
+            start = sim.now
+            for round_ in range(n_commits):
+                txn = yield from coordinator.begin(task)
+                for key in keys:
+                    value = yield from coordinator.read(task, txn, key)
+                    coordinator.write(
+                        txn, key, value[:4] + round_.to_bytes(4, "little")
+                    )
+                yield from coordinator.commit(task, txn)
+            finished["ns"] = sim.now - start
+
+        cluster[0].os.spawn(body, "bench")
+        run_until(sim, lambda: "ns" in finished, deadline_ms=120_000)
+        chains = {
+            key: [(version.txid, version.value) for version in chain]
+            for store in coordinator.stores
+            for key, chain in store.versions.items()
+        }
+        return finished["ns"], coordinator.commits, chains
+
+    started = time.perf_counter()
+    seq_ns, seq_commits, seq_chains = run("sequential")
+    par_ns, par_commits, par_chains = run("parallel")
+    wall = time.perf_counter() - started
+    if (par_commits, par_chains) != (seq_commits, seq_chains):
+        raise AssertionError("parallel installs diverged from the oracle")
+    if par_ns >= seq_ns:
+        raise AssertionError(
+            f"parallel installs not faster: {par_ns}ns vs {seq_ns}ns"
+        )
+    return {
+        "commits": seq_commits,
+        "groups": n_groups,
+        "wall_s": wall,
+        "sequential_ms": seq_ns / 1e6,
+        "parallel_ms": par_ns / 1e6,
+        "latency_ratio": par_ns / seq_ns,
+        "identical": True,
+    }
+
+
+def bench_txn_ycsb(n_txns: int = 36, seed: int = 7) -> Dict[str, Any]:
+    """Transactional YCSB mix A end to end (Zipfian contention + retry).
+
+    Records the simulated commit throughput, abort rate and retry
+    amplification alongside wall time; an anomaly or group error fails
+    the suite outright.
+    """
+    from ..txn import run_ycsb_mix
+
+    started = time.perf_counter()
+    report = run_ycsb_mix(mix="A", seed=seed, n_txns=n_txns)
+    wall = time.perf_counter() - started
+    if report.errors:
+        raise AssertionError(f"ycsb errors: {report.errors}")
+    if report.anomaly != "none":
+        raise AssertionError(f"serialization anomaly under SSI: {report.anomaly}")
+    return {
+        "committed": report.committed,
+        "attempts": report.attempts,
+        "wall_s": wall,
+        "txns_per_sec": report.committed / wall,
+        "sim_throughput_tps": report.throughput_tps,
+        "abort_rate": report.abort_rate(),
+        "amplification": report.amplification,
+        "sim_ms": report.sim_ms,
+    }
+
+
 def annotate_sharded_entry(
     sharded: Dict[str, Any], cpu_count: Optional[int]
 ) -> Dict[str, Any]:
@@ -520,6 +622,24 @@ def run_suite(
     entry["txn_commits"] = txn["commits"]
     entry["txn_abort_rate"] = round(txn["abort_rate"], 3)
     entry["txn_sim_ms"] = round(txn["sim_ms"], 3)
+
+    install = _best(
+        lambda: bench_txn_install(n_commits=8 if quick else 24),
+        repeats,
+    )
+    entry["txn_install_sequential_ms"] = round(install["sequential_ms"], 3)
+    entry["txn_install_parallel_ms"] = round(install["parallel_ms"], 3)
+    entry["txn_install_latency_ratio"] = round(install["latency_ratio"], 3)
+
+    ycsb = _best(
+        lambda: bench_txn_ycsb(n_txns=12 if quick else 36),
+        repeats,
+    )
+    entry["ycsb_committed"] = ycsb["committed"]
+    entry["ycsb_attempts"] = ycsb["attempts"]
+    entry["ycsb_sim_throughput_tps"] = round(ycsb["sim_throughput_tps"])
+    entry["ycsb_abort_rate"] = round(ycsb["abort_rate"], 3)
+    entry["ycsb_amplification"] = round(ycsb["amplification"], 3)
 
     if trace:
         traced = bench_fig8_traced(n_ops=30 if quick else 60)

@@ -145,6 +145,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="rendezvoused write-skew pairs (SI admits, SSI must abort)",
     )
+    txn.add_argument(
+        "--retry",
+        choices=["none", "immediate", "backoff"],
+        default=None,
+        help="retry policy for aborted transactions "
+        "(default: none for the mix, backoff for --ycsb)",
+    )
+    txn.add_argument(
+        "--install",
+        choices=["parallel", "sequential"],
+        default=None,
+        help="commit-install mode (default: REPRO_TXN_INSTALL or parallel)",
+    )
+    txn.add_argument(
+        "--ycsb",
+        action="store_true",
+        help="run the transactional YCSB suite instead of the shaped mix",
+    )
+    txn.add_argument(
+        "--mixes",
+        default="A,B,C",
+        help="comma-separated YCSB mixes for --ycsb (A/B/C/F)",
+    )
+    txn.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for --ycsb (output is worker-independent)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -570,12 +599,16 @@ def _cmd_trace(args) -> int:
 def _cmd_txn(args) -> int:
     from .txn import run_txn_workload
 
+    if args.ycsb:
+        return _cmd_txn_ycsb(args)
     report = run_txn_workload(
         seed=args.seed,
         mode=args.mode,
         n_groups=args.groups,
         n_txns=args.txns,
         write_skew_pairs=args.write_skew_pairs,
+        retry=args.retry or "none",
+        install=args.install,
     )
     print(report.render())
     if report.errors:
@@ -589,6 +622,24 @@ def _cmd_txn(args) -> int:
         if args.write_skew_pairs > 0 and report.aborts_ssi < 1:
             return 1
     return 0
+
+
+def _cmd_txn_ycsb(args) -> int:
+    from .txn import run_ycsb
+
+    kwargs = {}
+    if args.groups != 2:  # YCSB default is 4 groups, the scale-out shape
+        kwargs["n_groups"] = args.groups
+    report = run_ycsb(
+        mixes=[mix.strip() for mix in args.mixes.split(",") if mix.strip()],
+        seed=args.seed,
+        workers=args.workers,
+        retry=args.retry or "backoff",
+        install=args.install,
+        **kwargs,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_chaos(args) -> int:

@@ -1184,6 +1184,414 @@ def _scenario_txn_chaos(seed: int) -> ScenarioReport:
     )
 
 
+def _scenario_txn_double_failover(seed: int) -> ScenarioReport:
+    """Overlapping failovers: one replica of *each* participant group
+    dies at the same workload op. Two detector/repair pipelines run
+    concurrently, rendezvous once both chains are spliced, and then
+    both groups sit inside ``reset_after_failover`` at the same time —
+    the epoch bumps twice, every parked commit is cleared, and the
+    committed history must still be anomaly-free with nothing acked
+    lost and no snapshot read served stale."""
+    from ..txn import AvailabilityTracker, TxnCoordinator, VersionedGroupStore
+    from ..storage.transactions import TransactionManager
+
+    name = "txn-double-failover"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=10, n_cores=4)
+    client = cluster[0]
+    group_hosts = [cluster.hosts[1:4], cluster.hosts[4:7]]
+    spares = [cluster[7], cluster[8]]
+    region_size = 1 << 14
+    generation = [0]
+
+    def factory(members):
+        generation[0] += 1
+        return HyperLoopGroup(
+            client,
+            members,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.r{generation[0]}",
+        )
+
+    groups = [
+        HyperLoopGroup(
+            client,
+            hosts,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.g{index}",
+        )
+        for index, hosts in enumerate(group_hosts)
+    ]
+    stores = [
+        VersionedGroupStore(
+            TransactionManager(group, writer_id=index + 1), name=f"{name}.s{index}"
+        )
+        for index, group in enumerate(groups)
+    ]
+    tracker = AvailabilityTracker()
+    coordinator = TxnCoordinator(stores, mode="ssi", tracker=tracker, name=name)
+
+    # Both crashes trigger off the same op count, so the two failure
+    # windows open together and the repairs genuinely overlap.
+    crash_at_op = 6
+    plan = (
+        FaultPlan(label=name)
+        .add("host_crash", target="host2", at_op=crash_at_op)
+        .add("host_crash", target="host5", at_op=crash_at_op)
+    )
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    monitors = [
+        HeartbeatMonitor(
+            client, hosts, interval=2 * MS, miss_threshold=3, name=f"{name}.hb{index}"
+        )
+        for index, hosts in enumerate(group_hosts)
+    ]
+    repairers = []
+    for index, group in enumerate(groups):
+        pause_hook = tracker.on_repair_phase(index)
+
+        def on_phase(phase, hook=pause_hook):
+            hook(phase)
+            injector.notify_phase(phase)
+
+        repairers.append(ChainRepair(client, group, factory, on_phase=on_phase))
+
+    keys = [f"k{index:02d}".encode() for index in range(8)]
+    rng = sim.rng("chaos-ops")
+    n_ops = 14
+    specs = [("init", tuple(keys))]
+    for _ in range(n_ops - 1):
+        if rng.random() < 0.5:
+            specs.append(("rmw", rng.choice(keys)))
+        else:
+            first, second = rng.sample(keys, 2)
+            specs.append(("transfer", first, second))
+
+    progress: Dict[str, object] = {
+        "done": False,
+        "failed": [None, None],
+        "repaired": [False, False],
+        "rebound": [False, False],
+        "drained": [None, None],
+        "reset_span": [[None, None], [None, None]],
+        "reissued": 0,
+        "retried": 0,
+    }
+
+    def blocked() -> bool:
+        return any(repairer.paused for repairer in repairers) or any(
+            repairers[g].repairs > 0 and not progress["rebound"][g]
+            for g in range(2)
+        )
+
+    def writer(task):
+        for index, spec in enumerate(specs):
+            while True:
+                while blocked():
+                    yield from task.sleep(100_000)
+                current = tuple(repairer.group for repairer in repairers)
+                outcome: Dict[str, str] = {}
+                sub = client.os.spawn(
+                    _txn_spec_runner(coordinator, spec, outcome),
+                    name=f"{name}.t{index}",
+                )
+                while (
+                    not sub.process.triggered
+                    and tuple(r.group for r in repairers) == current
+                    and not any(r.paused for r in repairers)
+                ):
+                    yield from task.sleep(50_000)
+                if sub.process.triggered:
+                    result = outcome.get("result", "")
+                    if result in ("aborted:failover", "aborted:stale-epoch"):
+                        progress["retried"] += 1
+                        continue  # epoch casualty — replay post-reset
+                    break
+                progress["reissued"] += 1  # chain died under the probe
+            injector.notify_op()
+        progress["done"] = True
+
+    def detector(g: int):
+        monitor, repairer = monitors[g], repairers[g]
+
+        def body(task):
+            index = yield from monitor.wait_for_suspicion(task)
+            progress["failed"][g] = index
+            monitor.stop_beats(index)
+            yield from repairer.repair(
+                task, index, spares[g], copy_from=0 if index != 0 else 1
+            )
+            progress["repaired"][g] = True
+            # Rendezvous: both chains spliced before either resets, so
+            # the two reset_after_failover calls are in flight at once.
+            # Fine-grained poll: a reset only lasts tens of µs, so a
+            # coarse wakeup would let one finish before the other starts.
+            while not all(progress["repaired"]):
+                yield from task.sleep(5_000)
+            progress["reset_span"][g][0] = sim.now
+            drained = yield from coordinator.reset_after_failover(
+                task, g, repairer.group
+            )
+            progress["reset_span"][g][1] = sim.now
+            progress["drained"][g] = drained
+            progress["rebound"][g] = True
+
+        return body
+
+    client.os.spawn(writer, name=f"{name}.writer")
+    for g in range(2):
+        client.os.spawn(detector(g), name=f"{name}.detector{g}")
+    run_until(
+        sim,
+        lambda: progress["done"] and all(progress["rebound"]),
+        deadline_ms=15_000,
+    )
+    sim.run(until=sim.now + 5 * MS)
+
+    spans = progress["reset_span"]
+    complete = all(span[0] is not None and span[1] is not None for span in spans)
+    overlap_ns = (
+        min(span[1] for span in spans) - max(span[0] for span in spans)
+        if complete
+        else -1
+    )
+    invariants = [
+        _exercised(injector, "host_crash"),
+        InvariantResult(
+            "both-replicas-detected",
+            progress["failed"] == [1, 1],
+            f"suspected indices {progress['failed']}",
+        ),
+        InvariantResult(
+            "both-repairs-completed",
+            all(repairer.repairs == 1 for repairer in repairers)
+            and all(progress["rebound"]),
+            f"repairs={[r.repairs for r in repairers]} "
+            f"drained={progress['drained']}",
+        ),
+        InvariantResult(
+            "resets-overlapped",
+            complete and overlap_ns >= 0,
+            f"overlap={overlap_ns / MS:.3f}ms" if complete else "incomplete",
+        ),
+        check_no_serialization_anomaly(coordinator),
+        check_read_your_writes(coordinator),
+        check_txn_acked_writes(coordinator),
+    ]
+    notes = [
+        f"committed={coordinator.commits} epoch={coordinator.epoch} "
+        f"failover_aborts={coordinator.aborts_failover} "
+        f"reissued={progress['reissued']} retried={progress['retried']} "
+        f"read_failovers={tracker.failovers}"
+    ]
+    return _finish(name, seed, sim, injector, len(specs), invariants, notes)
+
+
+def _scenario_txn_reset_crash(seed: int) -> ScenarioReport:
+    """A crash lands *inside* ``reset_after_failover``: the first
+    failover's reset is draining the repaired chain's WAL when a
+    surviving replica of that same chain dies, parking the reset on a
+    dead ack forever. A second detect/repair round must splice again,
+    break the parked reset's stale lock, and finish the drain — with
+    the history anomaly-free and every acked write durable."""
+    from ..txn import AvailabilityTracker, TxnCoordinator, VersionedGroupStore
+    from ..storage.transactions import TransactionManager
+
+    name = "txn-reset-crash"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=10, n_cores=4)
+    client = cluster[0]
+    replicas = cluster.hosts[1:4]
+    group_b_hosts = cluster.hosts[4:7]
+    spares = [cluster[7], cluster[8]]
+    region_size = 1 << 14
+    generation = [0]
+
+    def factory(members):
+        generation[0] += 1
+        return HyperLoopGroup(
+            client,
+            members,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.a{generation[0]}",
+        )
+
+    group_a = HyperLoopGroup(
+        client, replicas, region_size=region_size, rounds=16, name=f"{name}.a0"
+    )
+    group_b = HyperLoopGroup(
+        client, group_b_hosts, region_size=region_size, rounds=16, name=f"{name}.b"
+    )
+    stores = [
+        VersionedGroupStore(TransactionManager(group_a, writer_id=1), name=f"{name}.s0"),
+        VersionedGroupStore(TransactionManager(group_b, writer_id=2), name=f"{name}.s1"),
+    ]
+    tracker = AvailabilityTracker()
+    coordinator = TxnCoordinator(stores, mode="ssi", tracker=tracker, name=name)
+
+    # host2 dies mid-commit; host3 (a survivor carried into the
+    # repaired chain) dies the moment the first reset starts — the
+    # detector reports the "reset" phase right before calling it, and
+    # zero phase delay lands the crash inside the WAL drain.
+    plan = (
+        FaultPlan(label=name)
+        .add("host_crash", target="host2", at_op=5)
+        .add("host_crash", target="host3", at_phase="reset", phase_delay_ms=0.0)
+    )
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    candidates = list(replicas) + [spares[0]]
+    monitor = HeartbeatMonitor(
+        client, candidates, interval=2 * MS, miss_threshold=3, name=f"{name}.hb"
+    )
+    pause_hook = tracker.on_repair_phase(0)
+
+    def on_phase(phase):
+        pause_hook(phase)
+        injector.notify_phase(phase)
+
+    repairer = ChainRepair(client, group_a, factory, on_phase=on_phase)
+
+    keys = [f"k{index:02d}".encode() for index in range(8)]
+    rng = sim.rng("chaos-ops")
+    n_ops = 14
+    specs = [("init", tuple(keys))]
+    for _ in range(n_ops - 1):
+        if rng.random() < 0.5:
+            specs.append(("rmw", rng.choice(keys)))
+        else:
+            first, second = rng.sample(keys, 2)
+            specs.append(("transfer", first, second))
+
+    progress: Dict[str, object] = {
+        "done": False,
+        "failed_hosts": [],
+        "resets_started": 0,
+        "resets_done": [],
+        "rebound": False,
+        "reissued": 0,
+        "retried": 0,
+    }
+
+    def writer(task):
+        for index, spec in enumerate(specs):
+            while True:
+                while repairer.paused or (
+                    repairer.repairs > 0 and not progress["rebound"]
+                ):
+                    yield from task.sleep(100_000)
+                current = repairer.group
+                outcome: Dict[str, str] = {}
+                sub = client.os.spawn(
+                    _txn_spec_runner(coordinator, spec, outcome),
+                    name=f"{name}.t{index}",
+                )
+                while (
+                    not sub.process.triggered
+                    and repairer.group is current
+                    and not repairer.paused
+                ):
+                    yield from task.sleep(50_000)
+                if sub.process.triggered:
+                    result = outcome.get("result", "")
+                    if result in ("aborted:failover", "aborted:stale-epoch"):
+                        progress["retried"] += 1
+                        continue
+                    break
+                progress["reissued"] += 1
+            injector.notify_op()
+        progress["done"] = True
+
+    def reset_probe(round_: int):
+        def body(task):
+            drained = yield from coordinator.reset_after_failover(
+                task, 0, repairer.group
+            )
+            progress["resets_done"].append((round_, drained))
+            progress["rebound"] = True
+
+        return body
+
+    def detector(task):
+        handled = set()
+        for round_ in range(2):
+            while True:
+                found = None
+                for index in range(len(candidates)):
+                    if index not in handled and monitor.suspected(index):
+                        found = index
+                        break
+                if found is not None:
+                    break
+                yield from task.sleep(monitor.interval)
+            handled.add(found)
+            failed_host = candidates[found]
+            progress["failed_hosts"].append(failed_host.name)
+            monitor.stop_beats(found)
+            current = repairer.group
+            failed_index = current.replicas.index(failed_host)
+            yield from repairer.repair(
+                task,
+                failed_index,
+                spares[round_],
+                copy_from=0 if failed_index != 0 else 1,
+            )
+            # The reset runs as an abandonable probe: round 1's parks
+            # forever on the freshly-crashed survivor's ack (the
+            # "reset" phase fires host3's crash with zero delay), and
+            # this task must stay free to run the second round.
+            injector.notify_phase("reset")
+            progress["resets_started"] += 1
+            client.os.spawn(reset_probe(round_), name=f"{name}.reset{round_}")
+
+    client.os.spawn(writer, name=f"{name}.writer")
+    client.os.spawn(detector, name=f"{name}.detector")
+    run_until(
+        sim,
+        lambda: progress["done"] and progress["rebound"],
+        deadline_ms=20_000,
+    )
+    sim.run(until=sim.now + 5 * MS)
+
+    invariants = [
+        _exercised(injector, "host_crash"),
+        InvariantResult(
+            "crashes-in-order",
+            progress["failed_hosts"] == ["host2", "host3"],
+            f"failed hosts {progress['failed_hosts']}",
+        ),
+        InvariantResult(
+            "first-reset-interrupted",
+            progress["resets_started"] == 2
+            and [round_ for round_, _ in progress["resets_done"]] == [1],
+            f"started={progress['resets_started']} "
+            f"completed={progress['resets_done']}",
+        ),
+        InvariantResult(
+            "two-repair-rounds",
+            repairer.repairs == 2 and progress["rebound"] is True,
+            f"repairs={repairer.repairs}",
+        ),
+        check_no_serialization_anomaly(coordinator),
+        check_read_your_writes(coordinator),
+        check_txn_acked_writes(coordinator),
+        check_no_errors(group_b, name="no-group-errors-b"),
+    ]
+    notes = [
+        f"committed={coordinator.commits} epoch={coordinator.epoch} "
+        f"failover_aborts={coordinator.aborts_failover} "
+        f"reissued={progress['reissued']} retried={progress['retried']} "
+        f"read_failovers={tracker.failovers}"
+    ]
+    return _finish(name, seed, sim, injector, len(specs), invariants, notes)
+
+
 # -- registry and matrix ------------------------------------------------------------
 
 
@@ -1232,6 +1640,14 @@ SCENARIOS: Dict[str, _Scenario] = {
         _scenario_txn_chaos,
         "SSI transaction mix + write skew on a drop+delay+duplicate fabric",
     ),
+    "txn-double-failover": _Scenario(
+        _scenario_txn_double_failover,
+        "both txn groups lose a replica at once; overlapping repair + reset",
+    ),
+    "txn-reset-crash": _Scenario(
+        _scenario_txn_reset_crash,
+        "survivor crash lands mid-reset_after_failover; second round recovers",
+    ),
 }
 
 COMPOUND_SCENARIOS = (
@@ -1240,6 +1656,8 @@ COMPOUND_SCENARIOS = (
     "stall-lossy",
     "client-crash",
     "txn-chaos",
+    "txn-double-failover",
+    "txn-reset-crash",
 )
 """The overlapping-failure subset — the default sweep matrix."""
 

@@ -5,13 +5,25 @@ group-write machinery: MVCC snapshot reads (:mod:`~repro.txn.mvcc`),
 an SSI serialization graph with pivot aborts (:mod:`~repro.txn.ssi`),
 Available-Copies read placement under failures
 (:mod:`~repro.txn.available_copies`), the commit coordinator tying
-them together (:mod:`~repro.txn.coordinator`), and a deterministic
-workload driver (:mod:`~repro.txn.workload`, ``python -m repro txn``).
+them together (:mod:`~repro.txn.coordinator`), abort-reason-aware
+retry policies (:mod:`~repro.txn.retry`), and two deterministic
+workload drivers: the shaped mix (:mod:`~repro.txn.workload`,
+``python -m repro txn``) and transactional YCSB
+(:mod:`~repro.txn.ycsb`, ``python -m repro txn --ycsb``).
 """
 
 from .available_copies import AvailabilityTracker, NoAvailableCopy
 from .coordinator import Transaction, TxnAborted, TxnCoordinator
 from .mvcc import SlotExhausted, Version, VersionedGroupStore
+from .retry import (
+    ExponentialBackoff,
+    ImmediateRetry,
+    NoRetry,
+    RetryPolicy,
+    RetryStats,
+    make_policy,
+    run_with_retries,
+)
 from .ssi import (
     CommittedTxn,
     SerializationGraph,
@@ -20,6 +32,13 @@ from .ssi import (
     find_cycle,
 )
 from .workload import TxnWorkloadReport, build_txn_system, run_txn_workload
+from .ycsb import (
+    YcsbSuiteReport,
+    YcsbTxnReport,
+    run_ycsb,
+    run_ycsb_mix,
+    run_ycsb_point,
+)
 
 __all__ = [
     "AvailabilityTracker",
@@ -35,7 +54,19 @@ __all__ = [
     "build_serialization_edges",
     "describe_cycle",
     "find_cycle",
+    "RetryPolicy",
+    "NoRetry",
+    "ImmediateRetry",
+    "ExponentialBackoff",
+    "RetryStats",
+    "make_policy",
+    "run_with_retries",
     "TxnWorkloadReport",
     "build_txn_system",
     "run_txn_workload",
+    "YcsbTxnReport",
+    "YcsbSuiteReport",
+    "run_ycsb_mix",
+    "run_ycsb_point",
+    "run_ycsb",
 ]

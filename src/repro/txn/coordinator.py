@@ -31,6 +31,7 @@ snapshot can land between timestamp assignment and publish.
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -84,6 +85,16 @@ class TxnCoordinator:
         Shared :class:`AvailabilityTracker`; a fresh one is built if
         not given. Stores are attached in order, so group index ==
         tracker index.
+    install:
+        ``"parallel"`` (default) overlaps per-group commit installs
+        under a deterministic join barrier; ``"sequential"`` is the
+        oracle — one group at a time in sorted order, the pre-PR-9
+        latency-sum path. ``None`` reads ``REPRO_TXN_INSTALL`` from
+        the environment (same env-toggle discipline as
+        ``REPRO_FAST_DISPATCH``), so a whole run can be flipped to the
+        oracle without touching call sites. Commit *outcomes* are
+        bit-identical either way — only install latency differs — and
+        the parallel-install tests diff the two paths to prove it.
     """
 
     def __init__(
@@ -92,11 +103,17 @@ class TxnCoordinator:
         mode: str = "ssi",
         tracker: Optional[AvailabilityTracker] = None,
         name: str = "txn",
+        install: Optional[str] = None,
     ):
         if not stores:
             raise ValueError("need at least one group store")
         if mode not in ("ssi", "si"):
             raise ValueError(f"bad isolation mode {mode!r}")
+        if install is None:
+            install = os.environ.get("REPRO_TXN_INSTALL", "parallel")
+        if install not in ("parallel", "sequential"):
+            raise ValueError(f"bad install mode {install!r}")
+        self.install_mode = install
         self.stores = list(stores)
         self.mode = mode
         self.name = name
@@ -341,10 +358,17 @@ class TxnCoordinator:
                 per_group.setdefault(self.locate(key), []).append(
                     (key, txn.writes[key])
                 )
-            for index in sorted(per_group):
-                yield from self.stores[index].install(
-                    task, per_group[index], commit_ts, txn.txid
-                )
+            if self.install_mode == "parallel" and len(per_group) > 1:
+                yield from self._install_parallel(task, txn, per_group, commit_ts)
+            else:
+                for index in sorted(per_group):
+                    yield from self.stores[index].install(
+                        task, per_group[index], commit_ts, txn.txid
+                    )
+            # A failover reset may have landed while installs were in
+            # flight: an epoch casualty must never publish (its durable
+            # records are orphans readers ignore by version metadata).
+            self._check_active(txn)
             # Every group installed durably; publish synchronously so
             # visibility is all-or-nothing across groups.
             for index in sorted(per_group):
@@ -353,6 +377,48 @@ class TxnCoordinator:
         finally:
             if self._committing == txn.txid:
                 self._committing = None
+
+    def _install_parallel(
+        self,
+        task: Task,
+        txn: Transaction,
+        per_group: Dict[int, List[Tuple[bytes, bytes]]],
+        commit_ts: int,
+    ) -> Generator:
+        """Overlap per-group installs under a deterministic join barrier.
+
+        Sub-tasks are spawned in sorted group order, so each group's
+        WAL lock is *requested* in the same order as the sequential
+        oracle (deadlock freedom), but the chain replications then run
+        concurrently: multi-group commit latency approaches the max of
+        the per-group installs instead of their sum. The join is
+        deterministic — the committer waits on every sub-task in
+        sorted order regardless of completion order — and a failure is
+        re-raised only after all sub-tasks have finished, so no
+        install outlives its commit attempt.
+        """
+        subs = []
+        for index in sorted(per_group):
+
+            def body(sub, index=index):
+                yield from self.stores[index].install(
+                    sub, per_group[index], commit_ts, txn.txid
+                )
+
+            subs.append(
+                task.os.spawn(body, name=f"{self.name}.install.g{index}")
+            )
+        if TRACER.enabled:
+            TRACER.count("txn.install_parallel")
+        failure: Optional[BaseException] = None
+        for sub in subs:
+            try:
+                yield from task.wait(sub.process)
+            except Exception as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
 
     def _finalize(self, txn: Transaction, commit_ts: Optional[int] = None) -> int:
         if commit_ts is None:

@@ -36,6 +36,7 @@ from ..storage.transactions import TransactionManager
 from .available_copies import AvailabilityTracker
 from .coordinator import TxnAborted, TxnCoordinator
 from .mvcc import VersionedGroupStore
+from .retry import RetryStats, make_policy, run_with_retries
 from .ssi import describe_cycle
 
 __all__ = ["TxnWorkloadReport", "build_txn_system", "run_txn_workload"]
@@ -59,6 +60,13 @@ class TxnWorkloadReport:
     sim_ms: float
     mix: List[Tuple[str, int, int]] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+    retry: str = "none"
+    retry_attempts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    backoff_ms: float = 0.0
+    amplification: float = 0.0
+    retry_by_reason: List[Tuple[str, int]] = field(default_factory=list)
 
     @property
     def aborts(self) -> int:
@@ -80,6 +88,17 @@ class TxnWorkloadReport:
                 f"    mix {name}: {committed}/{attempts} committed "
                 f"(abort rate {rate:.1f}%)"
             )
+        if self.retry != "none":
+            reasons = " ".join(
+                f"{reason}={count}" for reason, count in self.retry_by_reason
+            )
+            lines.append(
+                f"    retry {self.retry}: attempts={self.retry_attempts} "
+                f"retries={self.retries} gave_up={self.gave_up} "
+                f"amplification={self.amplification:.2f} "
+                f"backoff={self.backoff_ms:.3f}ms"
+                + (f" [{reasons}]" if reasons else "")
+            )
         lines.append(f"    serialization anomaly: {self.anomaly}")
         for error in self.errors:
             lines.append(f"    error: {error}")
@@ -94,6 +113,7 @@ def build_txn_system(
     mode: str = "ssi",
     name: str = "txn",
     replica_hosts=None,
+    install: Optional[str] = None,
 ) -> TxnCoordinator:
     """Groups + versioned stores + coordinator on an existing cluster.
 
@@ -115,7 +135,9 @@ def build_txn_system(
             VersionedGroupStore(manager, name=f"{name}.s{index}")
         )
     tracker = AvailabilityTracker()
-    return TxnCoordinator(stores, mode=mode, tracker=tracker, name=name)
+    return TxnCoordinator(
+        stores, mode=mode, tracker=tracker, name=name, install=install
+    )
 
 
 def run_txn_workload(
@@ -126,11 +148,25 @@ def run_txn_workload(
     n_workers: int = 3,
     write_skew_pairs: int = 2,
     deadline_ms: int = 10_000,
+    retry: str = "none",
+    install: Optional[str] = None,
 ) -> TxnWorkloadReport:
-    """Run the full mix; returns the deterministic report."""
+    """Run the full mix; returns the deterministic report.
+
+    ``retry`` picks the policy for the main mix ("none" / "immediate"
+    / "backoff"); write-skew litmus pairs never retry — the point is
+    that exactly one per pair aborts. ``install`` forwards to
+    :class:`TxnCoordinator` (parallel vs sequential commit installs);
+    ``retry="none", install="sequential"`` reproduces the PR 7
+    workload byte-for-byte.
+    """
     sim = Simulator(seed=seed)
     cluster = Cluster(sim, n_hosts=4, n_cores=4)
-    coordinator = build_txn_system(sim, cluster, n_groups=n_groups, mode=mode)
+    coordinator = build_txn_system(
+        sim, cluster, n_groups=n_groups, mode=mode, install=install
+    )
+    policy = make_policy(retry, rng=sim.rng("txn-retry"))
+    retry_stats = RetryStats()
 
     keys = [f"k{index:02d}".encode() for index in range(12)]
     skew_keys = [
@@ -174,11 +210,11 @@ def run_txn_workload(
         yield from coordinator.commit(task, txn)
         progress["init"] = True
 
-    def run_spec(task, spec):
+    def attempt_spec(spec):
         name = spec[0]
-        mix_attempts[name] = mix_attempts.get(name, 0) + 1
-        txn = yield from coordinator.begin(task)
-        try:
+
+        def attempt(task):
+            txn = yield from coordinator.begin(task)
             if name == "rmw":
                 value = yield from coordinator.read(task, txn, spec[1])
                 coordinator.write(txn, spec[1], bump(value))
@@ -191,9 +227,17 @@ def run_txn_workload(
                 for key in spec[1]:
                     yield from coordinator.read(task, txn, key)
             yield from coordinator.commit(task, txn)
+
+        return attempt
+
+    def run_spec(task, spec):
+        name = spec[0]
+        mix_attempts[name] = mix_attempts.get(name, 0) + 1
+        outcome, _, _ = yield from run_with_retries(
+            task, policy, attempt_spec(spec), retry_stats
+        )
+        if outcome == "committed":
             mix_commits[name] = mix_commits.get(name, 0) + 1
-        except TxnAborted:
-            pass
 
     def worker_body(worker):
         def body(task):
@@ -275,4 +319,11 @@ def run_txn_workload(
         sim_ms=sim.now / MS,
         mix=mix,
         errors=errors[:3],
+        retry=policy.name,
+        retry_attempts=retry_stats.attempts,
+        retries=retry_stats.retries,
+        gave_up=retry_stats.gave_up,
+        backoff_ms=retry_stats.backoff_ns / MS,
+        amplification=retry_stats.amplification,
+        retry_by_reason=sorted(retry_stats.by_reason.items()),
     )

@@ -1,0 +1,326 @@
+"""Transactional YCSB over N replica groups (`python -m repro txn --ycsb`).
+
+Drives the Cooper et al. mixes (:mod:`repro.workloads.ycsb`) through
+the SSI coordinator instead of a plain key-value stub: operations are
+grouped into short transactions, Zipfian hot keys create genuine
+cross-group contention, and aborted transactions go through the
+abort-reason-aware retry policies (:mod:`repro.txn.retry`) rather
+than being dropped. This is the scale-out evaluation surface the
+SafarDB comparison calls for — commit throughput, abort rate by
+reason, and retry amplification per mix.
+
+Only the transactional mixes run here: A (50/50 read/update), B
+(95/5), C (read-only), and F (read-modify-write). D and E need
+inserts/scans, which the coordinator's fixed keyspace does not model
+— asking for them raises rather than silently approximating.
+
+Determinism: the operation stream comes from ``YcsbWorkload``'s own
+named streams (pure functions of ``(mix, seed)``), the retry jitter
+from ``sim.rng("txn-retry")``, and reports render no wall-clock state.
+The suite runs per-mix points through the :mod:`repro.bench.parallel`
+pool, so its rendering is byte-identical for 1 worker and 8, across
+``REPRO_FAST_DISPATCH`` modes, and under ``REPRO_SHARDS=1``
+containment (``run_ycsb_point`` honors ``maybe_contained`` exactly
+like the chaos runner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..bench.harness import run_until
+from ..bench.parallel import RunSpec, run_parallel
+from ..hw.host import Cluster
+from ..sim import MS, Simulator
+from ..workloads.ycsb import WORKLOADS, Operation, YcsbWorkload
+from .retry import RetryStats, make_policy, run_with_retries
+from .ssi import describe_cycle
+from .workload import build_txn_system
+
+__all__ = [
+    "TXN_MIXES",
+    "YcsbTxnReport",
+    "YcsbSuiteReport",
+    "run_ycsb_mix",
+    "run_ycsb_point",
+    "run_ycsb",
+]
+
+
+TXN_MIXES: Tuple[str, ...] = ("A", "B", "C", "F")
+"""Mixes expressible as fixed-keyspace transactions (no insert/scan)."""
+
+
+@dataclass
+class YcsbTxnReport:
+    """Deterministic outcome of one mix run."""
+
+    mix: str
+    seed: int
+    n_groups: int
+    n_keys: int
+    n_txns: int
+    ops: int
+    committed: int
+    gave_up: int
+    attempts: int
+    retries: int
+    amplification: float
+    backoff_ms: float
+    retry: str
+    aborts_ww: int
+    aborts_ssi: int
+    aborts_unavailable: int
+    aborts_other: int
+    throughput_tps: float
+    sim_ms: float
+    anomaly: str
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def aborts(self) -> int:
+        return (
+            self.aborts_ww
+            + self.aborts_ssi
+            + self.aborts_unavailable
+            + self.aborts_other
+        )
+
+    def abort_rate(self) -> float:
+        """Aborted attempts per attempt (retries keep the denominator honest)."""
+        return self.aborts / self.attempts if self.attempts else 0.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"    mix {self.mix}: {self.committed}/{self.n_txns} txns committed "
+                f"({self.ops} ops, {self.attempts} attempts)",
+                f"        throughput={self.throughput_tps:.0f} txn/s "
+                f"abort_rate={100.0 * self.abort_rate():.1f}% "
+                f"amplification={self.amplification:.2f}",
+                f"        aborts: ww={self.aborts_ww} ssi={self.aborts_ssi} "
+                f"unavailable={self.aborts_unavailable} other={self.aborts_other} "
+                f"gave_up={self.gave_up}",
+                f"        retries={self.retries} backoff={self.backoff_ms:.3f}ms "
+                f"sim_time={self.sim_ms:.3f}ms anomaly={self.anomaly}",
+            ]
+            + [f"        error: {error}" for error in self.errors]
+        )
+
+
+@dataclass
+class YcsbSuiteReport:
+    """All requested mixes, one seed, one rendering CI byte-diffs."""
+
+    seed: int
+    n_groups: int
+    retry: str
+    mixes: List[YcsbTxnReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(
+            not report.errors and report.anomaly == "none"
+            for report in self.mixes
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"=== txn ycsb (seed {self.seed}, {self.n_groups} groups, "
+            f"retry {self.retry})"
+        ]
+        for report in self.mixes:
+            lines.append(report.render())
+        committed = sum(report.committed for report in self.mixes)
+        attempts = sum(report.attempts for report in self.mixes)
+        lines.append(
+            f"    total: committed={committed} attempts={attempts} "
+            f"ok={'yes' if self.ok else 'NO'}"
+        )
+        return "\n".join(lines)
+
+
+def _plan_txns(
+    workload: YcsbWorkload, n_txns: int, ops_per_txn: int
+) -> List[List[Operation]]:
+    """Draw the whole operation stream up-front, chunked into txns."""
+    stream = list(workload.operations(n_txns * ops_per_txn))
+    return [
+        stream[index * ops_per_txn : (index + 1) * ops_per_txn]
+        for index in range(n_txns)
+    ]
+
+
+def run_ycsb_mix(
+    mix: str = "A",
+    seed: int = 7,
+    n_groups: int = 4,
+    n_keys: int = 48,
+    n_txns: int = 36,
+    n_workers: int = 4,
+    ops_per_txn: int = 3,
+    value_size: int = 16,
+    retry: str = "backoff",
+    install: Optional[str] = None,
+    deadline_ms: int = 30_000,
+) -> YcsbTxnReport:
+    """Run one YCSB mix transactionally; returns the deterministic report."""
+    try:
+        workload_mix = WORKLOADS[mix]
+    except KeyError:
+        raise ValueError(f"unknown YCSB mix {mix!r}") from None
+    if workload_mix.insert or workload_mix.scan:
+        raise ValueError(
+            f"mix {mix!r} needs inserts/scans; transactional mixes are "
+            f"{'/'.join(TXN_MIXES)}"
+        )
+
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=4, n_cores=4)
+    coordinator = build_txn_system(
+        sim, cluster, n_groups=n_groups, mode="ssi", name="ycsb", install=install
+    )
+    policy = make_policy(retry, rng=sim.rng("txn-retry"))
+    stats = RetryStats()
+
+    workload = YcsbWorkload(
+        workload_mix, record_count=n_keys, value_size=value_size, seed=seed
+    )
+    txn_plans = _plan_txns(workload, n_txns, ops_per_txn)
+    keys = [f"y{index:04d}".encode() for index in range(n_keys)]
+
+    def payload(key: int, txn_index: int) -> bytes:
+        stamp = f"{mix}/{key}/{txn_index}".encode()
+        return (stamp * (value_size // len(stamp) + 1))[:value_size]
+
+    progress = {"init": False, "done": 0}
+
+    def init_body(task):
+        txn = yield from coordinator.begin(task)
+        for index, key in enumerate(keys):
+            coordinator.write(txn, key, payload(index, -1))
+        yield from coordinator.commit(task, txn)
+        progress["init"] = True
+
+    def bump(value: Optional[bytes], key: int, txn_index: int) -> bytes:
+        base = payload(key, txn_index)
+        counter = (value or b"\x00")[-1] if value else 0
+        return base[:-1] + bytes([(counter + 1) & 0xFF])
+
+    def attempt_txn(txn_index: int):
+        plan = txn_plans[txn_index]
+
+        def attempt(task):
+            txn = yield from coordinator.begin(task)
+            for op in plan:
+                key = keys[op.key % n_keys]
+                if op.kind == "read":
+                    yield from coordinator.read(task, txn, key)
+                elif op.kind == "update":
+                    coordinator.write(txn, key, payload(op.key, txn_index))
+                else:  # modify: YCSB's read-modify-write
+                    value = yield from coordinator.read(task, txn, key)
+                    coordinator.write(txn, key, bump(value, op.key, txn_index))
+            yield from coordinator.commit(task, txn)
+
+        return attempt
+
+    def worker_body(worker: int):
+        def body(task):
+            # Round-robin deal keeps per-worker load even and the
+            # txn->worker mapping a pure function of the indices.
+            for txn_index in range(worker, n_txns, n_workers):
+                yield from run_with_retries(
+                    task, policy, attempt_txn(txn_index), stats
+                )
+            progress["done"] += 1
+
+        return body
+
+    cluster[0].os.spawn(init_body, name="ycsb.init")
+    run_until(sim, lambda: progress["init"], deadline_ms=deadline_ms)
+    for worker in range(n_workers):
+        cluster[0].os.spawn(worker_body(worker), name=f"ycsb.w{worker}")
+    run_until(
+        sim, lambda: progress["done"] == n_workers, deadline_ms=deadline_ms
+    )
+    sim.run(until=sim.now + 2 * MS)
+
+    errors: List[str] = []
+    for store in coordinator.stores:
+        errors.extend(store.group.errors)
+
+    sim_ms = sim.now / MS
+    return YcsbTxnReport(
+        mix=mix,
+        seed=seed,
+        n_groups=n_groups,
+        n_keys=n_keys,
+        n_txns=n_txns,
+        ops=n_txns * ops_per_txn,
+        committed=stats.committed,
+        gave_up=stats.gave_up,
+        attempts=stats.attempts,
+        retries=stats.retries,
+        amplification=stats.amplification,
+        backoff_ms=stats.backoff_ns / MS,
+        retry=policy.name,
+        aborts_ww=coordinator.aborts_ww,
+        aborts_ssi=coordinator.aborts_ssi,
+        aborts_unavailable=coordinator.aborts_unavailable,
+        aborts_other=coordinator.aborts_failover + coordinator.aborts_user,
+        throughput_tps=(
+            stats.committed / (sim_ms / 1000.0) if sim_ms else 0.0
+        ),
+        sim_ms=sim_ms,
+        anomaly=describe_cycle(coordinator.history),
+        errors=errors[:3],
+    )
+
+
+def run_ycsb_point(name: str, seed: int = 7, **params: Any) -> YcsbTxnReport:
+    """The ``ycsb`` runner target (see ``repro.bench.parallel.RUNNERS``).
+
+    ``name`` is the mix letter; honors ``REPRO_SHARDS`` containment so
+    the nightly sharded-replay lane can byte-compare the suite against
+    the inline engine, exactly like the chaos runner.
+    """
+    from ..sim.shard import maybe_contained
+
+    contained = maybe_contained(
+        "repro.txn.ycsb:run_ycsb_point", dict(name=name, seed=seed, **params)
+    )
+    if contained is not None:
+        return contained[0]
+    return run_ycsb_mix(mix=name, seed=seed, **params)
+
+
+def run_ycsb(
+    mixes: Sequence[str] = ("A", "B", "C"),
+    seed: int = 7,
+    workers: Optional[int] = None,
+    **params: Any,
+) -> YcsbSuiteReport:
+    """Run a suite of mixes through the parallel pool; aggregate.
+
+    Results come back in mix order whatever the worker count, so the
+    suite rendering is a pure function of ``(mixes, seed, params)``.
+    """
+    specs = [
+        RunSpec.make(mix, seed, runner="ycsb", **params) for mix in mixes
+    ]
+    results = run_parallel(specs, workers=workers or 1)
+    reports: List[YcsbTxnReport] = []
+    for result in results:
+        output = result.output
+        if isinstance(output, dict):  # normalized across the pool
+            output = YcsbTxnReport(**output)
+        reports.append(output)
+    retry = reports[0].retry if reports else str(params.get("retry", "backoff"))
+    return YcsbSuiteReport(
+        seed=seed,
+        n_groups=reports[0].n_groups if reports else 0,
+        retry=retry,
+        mixes=reports,
+    )

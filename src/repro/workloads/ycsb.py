@@ -8,13 +8,14 @@ workload mixes of Table 3:
     Workload  Read   Update   Insert  Modify  Scan
     A         50     50       --      --      --
     B         95     5        --      --      --
+    C         100    --       --      --      --
     D         95     --       5       --      --
     E         --     --       5       --      95
     F         50     --       --      50      --
     ========  =====  =======  ======  ======  ====
 
 ("Modify" is YCSB's read-modify-write.) Distributions follow the
-reference implementation: A/B/F use scrambled-zipfian over the key
+reference implementation: A/B/C/F use scrambled-zipfian over the key
 space, D uses "latest", E uses scrambled-zipfian scan starts with
 uniform scan lengths.
 """
@@ -156,6 +157,7 @@ class WorkloadMix:
 WORKLOADS: Dict[str, WorkloadMix] = {
     "A": WorkloadMix("A", read=0.50, update=0.50),
     "B": WorkloadMix("B", read=0.95, update=0.05),
+    "C": WorkloadMix("C", read=1.0),
     "D": WorkloadMix("D", read=0.95, insert=0.05, distribution="latest"),
     "E": WorkloadMix("E", insert=0.05, scan=0.95),
     "F": WorkloadMix("F", read=0.50, modify=0.50),

@@ -27,6 +27,8 @@ class TestCompoundScenarios:
             "stall-lossy",
             "client-crash",
             "txn-chaos",
+            "txn-double-failover",
+            "txn-reset-crash",
         }
         for name in COMPOUND_SCENARIOS:
             assert name in SCENARIOS

@@ -1,0 +1,78 @@
+"""Transactional YCSB: determinism across every execution mode.
+
+The suite rendering must be a pure function of ``(mixes, seed,
+params)``: byte-identical when run twice, across pool worker counts,
+with the batched dispatch loop flipped to its one-pop oracle
+(``REPRO_FAST_DISPATCH=0``), and under ``REPRO_SHARDS=1`` containment
+(each mix point re-run in a worker process). Plus the mix-vocabulary
+edges: D/E need inserts/scans and must raise, not approximate.
+"""
+
+import os
+
+import pytest
+
+from repro.txn import run_ycsb, run_ycsb_mix
+from repro.txn.ycsb import TXN_MIXES
+
+
+@pytest.fixture(autouse=True)
+def _clean_env():
+    for name in ("REPRO_FAST_DISPATCH", "REPRO_SHARDS"):
+        os.environ.pop(name, None)
+    yield
+    for name in ("REPRO_FAST_DISPATCH", "REPRO_SHARDS"):
+        os.environ.pop(name, None)
+
+
+SMALL = dict(n_keys=24, n_txns=12, n_workers=2)
+
+
+def test_mix_report_is_reasonable():
+    report = run_ycsb_mix(mix="A", seed=7, **SMALL)
+    assert report.committed + report.gave_up == report.n_txns
+    assert report.attempts == report.committed + report.retries + report.gave_up
+    assert report.anomaly == "none"
+    assert report.errors == []
+    assert report.throughput_tps > 0
+    # Mix C is read-only: no write-write races are possible.
+    readonly = run_ycsb_mix(mix="C", seed=7, **SMALL)
+    assert readonly.aborts_ww == 0
+    assert readonly.committed == readonly.n_txns
+    assert readonly.amplification == 1.0
+
+
+def test_non_transactional_mixes_raise():
+    for mix in ("D", "E"):
+        assert mix not in TXN_MIXES
+        with pytest.raises(ValueError, match="inserts/scans"):
+            run_ycsb_mix(mix=mix, seed=7, **SMALL)
+    with pytest.raises(ValueError, match="unknown"):
+        run_ycsb_mix(mix="Z", seed=7)
+
+
+def test_suite_renders_identically_across_runs_and_workers():
+    base = run_ycsb(mixes=("A", "B"), seed=7, workers=1, **SMALL)
+    again = run_ycsb(mixes=("A", "B"), seed=7, workers=1, **SMALL)
+    pooled = run_ycsb(mixes=("A", "B"), seed=7, workers=4, **SMALL)
+    assert base.render() == again.render()
+    assert base.render() == pooled.render()
+    assert base.ok
+
+
+def test_suite_identical_across_dispatch_modes():
+    base = run_ycsb(mixes=("A", "F"), seed=7, workers=1, **SMALL)
+    os.environ["REPRO_FAST_DISPATCH"] = "0"
+    oracle = run_ycsb(mixes=("A", "F"), seed=7, workers=1, **SMALL)
+    assert oracle.render() == base.render()
+
+
+def test_mix_point_identical_under_containment():
+    base = run_ycsb_mix(mix="A", seed=7, **SMALL)
+    os.environ["REPRO_SHARDS"] = "1"
+    from repro.txn import run_ycsb_point
+
+    contained = run_ycsb_point("A", seed=7, **SMALL)
+    assert "REPRO_SHARD_ROLE" not in os.environ  # worker env never leaks
+    assert contained.render() == base.render()
+    assert contained == base
