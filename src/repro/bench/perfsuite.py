@@ -45,6 +45,7 @@ __all__ = [
     "bench_txn_commit",
     "bench_txn_install",
     "bench_txn_ycsb",
+    "bench_txn_scan",
     "annotate_parallel_entry",
     "annotate_sharded_entry",
     "run_suite",
@@ -480,6 +481,41 @@ def bench_txn_ycsb(n_txns: int = 36, seed: int = 7) -> Dict[str, Any]:
     }
 
 
+def bench_txn_scan(n_txns: int = 36, seed: int = 7) -> Dict[str, Any]:
+    """Transactional YCSB mix E: snapshot scans + inserts under SSI.
+
+    Every scan walks the merged per-group ordered indexes and
+    cross-checks each visible key's durable slot, so scans/sec tracks
+    the range-read path end to end — including the phantom edges that
+    concurrent inserts raise. An anomaly, a group error, or a scan
+    workload that never exercises a scan fails the suite outright.
+    """
+    from ..txn import run_ycsb_mix
+
+    started = time.perf_counter()
+    report = run_ycsb_mix(mix="E", seed=seed, n_txns=n_txns)
+    wall = time.perf_counter() - started
+    if report.errors:
+        raise AssertionError(f"ycsb E errors: {report.errors}")
+    if report.anomaly != "none":
+        raise AssertionError(f"serialization anomaly under SSI: {report.anomaly}")
+    if not report.scans:
+        raise AssertionError("mix E ran but planned no scans")
+    return {
+        "committed": report.committed,
+        "attempts": report.attempts,
+        "scans": report.scans,
+        "inserts": report.inserts,
+        "wall_s": wall,
+        "scans_per_sec": report.scans / wall,
+        "sim_throughput_tps": report.throughput_tps,
+        "abort_rate": report.abort_rate(),
+        "aborts_phantom": report.aborts_phantom,
+        "amplification": report.amplification,
+        "sim_ms": report.sim_ms,
+    }
+
+
 def annotate_sharded_entry(
     sharded: Dict[str, Any], cpu_count: Optional[int]
 ) -> Dict[str, Any]:
@@ -640,6 +676,18 @@ def run_suite(
     entry["ycsb_sim_throughput_tps"] = round(ycsb["sim_throughput_tps"])
     entry["ycsb_abort_rate"] = round(ycsb["abort_rate"], 3)
     entry["ycsb_amplification"] = round(ycsb["amplification"], 3)
+
+    scan = _best(
+        lambda: bench_txn_scan(n_txns=12 if quick else 36),
+        repeats,
+    )
+    entry["scan_committed"] = scan["committed"]
+    entry["scan_count"] = scan["scans"]
+    entry["scan_inserts"] = scan["inserts"]
+    entry["scans_per_sec"] = round(scan["scans_per_sec"], 1)
+    entry["scan_abort_rate"] = round(scan["abort_rate"], 3)
+    entry["scan_aborts_phantom"] = scan["aborts_phantom"]
+    entry["scan_sim_ms"] = round(scan["sim_ms"], 3)
 
     if trace:
         traced = bench_fig8_traced(n_ops=30 if quick else 60)

@@ -166,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     txn.add_argument(
         "--mixes",
         default="A,B,C",
-        help="comma-separated YCSB mixes for --ycsb (A/B/C/F)",
+        help="comma-separated YCSB mixes for --ycsb (A/B/C/D/E/F)",
     )
     txn.add_argument(
         "--workers",

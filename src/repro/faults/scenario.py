@@ -876,6 +876,10 @@ def _txn_spec_runner(coordinator, spec, outcome):
             elif spec[0] == "rmw":
                 value = yield from coordinator.read(task, txn, spec[1])
                 coordinator.write(txn, spec[1], bump(value))
+            elif spec[0] == "insert":
+                coordinator.insert(txn, spec[1], (1).to_bytes(8, "little"))
+            elif spec[0] == "scan":
+                yield from coordinator.scan(task, txn, spec[1], spec[2])
             else:  # transfer
                 first = yield from coordinator.read(task, txn, spec[1])
                 second = yield from coordinator.read(task, txn, spec[2])
@@ -1044,6 +1048,186 @@ def _scenario_txn_failover(seed: int) -> ScenarioReport:
     notes = [
         f"committed={coordinator.commits} "
         f"failover_aborts={coordinator.aborts_failover} "
+        f"reissued={progress['reissued']} retried={progress['retried']} "
+        f"read_failovers={tracker.failovers}"
+    ]
+    return _finish(name, seed, sim, injector, len(specs), invariants, notes)
+
+
+def _scenario_txn_insert(seed: int) -> ScenarioReport:
+    """A replica dies under an insert-bearing commit install: the
+    in-flight insert's slot assignment survives as an orphan the epoch
+    guard keeps unpublished, the heartbeat/repair/reset path splices in
+    the spare, and the replayed insert commits on the repaired chain —
+    with scans over the mixed keyspace staying anomaly-free and every
+    acked insert durable."""
+    from ..txn import AvailabilityTracker, TxnCoordinator, VersionedGroupStore
+    from ..storage.transactions import TransactionManager
+
+    name = "txn-insert"
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, n_hosts=8, n_cores=4)
+    client = cluster[0]
+    group_a_hosts = cluster.hosts[1:4]
+    group_b_hosts = cluster.hosts[4:7]
+    spare = cluster[7]
+    region_size = 1 << 14
+    generation = [0]
+
+    def factory(members):
+        generation[0] += 1
+        return HyperLoopGroup(
+            client,
+            members,
+            region_size=region_size,
+            rounds=16,
+            name=f"{name}.a{generation[0]}",
+        )
+
+    group_a = HyperLoopGroup(
+        client, group_a_hosts, region_size=region_size, rounds=16, name=f"{name}.a0"
+    )
+    group_b = HyperLoopGroup(
+        client, group_b_hosts, region_size=region_size, rounds=16, name=f"{name}.b"
+    )
+    stores = [
+        VersionedGroupStore(TransactionManager(group_a, writer_id=1), name=f"{name}.s0"),
+        VersionedGroupStore(TransactionManager(group_b, writer_id=2), name=f"{name}.s1"),
+    ]
+    tracker = AvailabilityTracker()
+    coordinator = TxnCoordinator(stores, mode="ssi", tracker=tracker, name=name)
+
+    # The crash fires when the sixth spec's notify lands, so spec 6 —
+    # an insert by construction of the kind cycle below — finds the
+    # replica dead while its commit install is on the wire.
+    crash_at_op = 6
+    plan = FaultPlan(label=name).add("host_crash", target="host2", at_op=crash_at_op)
+    injector = FaultInjector(
+        sim, cluster.fabric, {host.name: host for host in cluster.hosts}, plan
+    )
+    monitor = HeartbeatMonitor(
+        client, group_a_hosts, interval=2 * MS, miss_threshold=3, name=f"{name}.hb"
+    )
+    pause_hook = tracker.on_repair_phase(0)
+
+    def on_phase(phase):
+        pause_hook(phase)
+        injector.notify_phase(phase)
+
+    repairer = ChainRepair(client, group_a, factory, on_phase=on_phase)
+
+    keys = [f"k{index:02d}".encode() for index in range(6)]
+    rng = sim.rng("chaos-ops")
+    n_ops = 16
+    specs = [("init", tuple(keys))]
+    inserted = 0
+    for index in range(1, n_ops):
+        kind = ("scan", "rmw", "insert")[index % 3]  # index 6 -> insert
+        if kind == "insert":
+            specs.append(("insert", f"n{inserted:02d}".encode()))
+            inserted += 1
+        elif kind == "scan":
+            specs.append(("scan", rng.choice(keys), 4))
+        else:
+            specs.append(("rmw", rng.choice(keys)))
+
+    progress: Dict[str, object] = {
+        "done": False,
+        "repaired": False,
+        "rebound": False,
+        "failed_index": None,
+        "drained": None,
+        "reissued": 0,
+        "retried": 0,
+    }
+
+    def writer(task):
+        for index, spec in enumerate(specs):
+            while True:
+                while repairer.paused or (
+                    repairer.repairs > 0 and not progress["rebound"]
+                ):
+                    yield from task.sleep(100_000)
+                current = repairer.group
+                outcome: Dict[str, str] = {}
+                sub = client.os.spawn(
+                    _txn_spec_runner(coordinator, spec, outcome),
+                    name=f"{name}.t{index}",
+                )
+                while (
+                    not sub.process.triggered
+                    and repairer.group is current
+                    and not repairer.paused
+                ):
+                    yield from task.sleep(50_000)
+                if sub.process.triggered:
+                    result = outcome.get("result", "")
+                    if result in ("aborted:failover", "aborted:stale-epoch"):
+                        progress["retried"] += 1
+                        continue  # epoch casualty — replay on the new chain
+                    break
+                # The chain died under this commit (an insert's install
+                # parked on a dead ack): abandon the probe — the epoch
+                # guard keeps its orphan slot unpublished — and replay
+                # once the coordinator has rebound.
+                progress["reissued"] += 1
+            injector.notify_op()
+        progress["done"] = True
+
+    def detector(task):
+        index = yield from monitor.wait_for_suspicion(task)
+        progress["failed_index"] = index
+        monitor.stop_beats(index)
+        yield from repairer.repair(
+            task, index, spare, copy_from=0 if index != 0 else 1
+        )
+        progress["repaired"] = True
+        drained = yield from coordinator.reset_after_failover(
+            task, 0, repairer.group
+        )
+        progress["drained"] = drained
+        progress["rebound"] = True
+
+    client.os.spawn(writer, name=f"{name}.writer")
+    client.os.spawn(detector, name=f"{name}.detector")
+    run_until(
+        sim,
+        lambda: progress["done"] and progress["rebound"],
+        deadline_ms=10_000,
+    )
+    sim.run(until=sim.now + 5 * MS)
+
+    committed_inserts = sum(
+        1
+        for txn in coordinator.history
+        if any(key.startswith(b"n") for key in txn.writes)
+    )
+    invariants = [
+        _exercised(injector, "host_crash"),
+        InvariantResult(
+            "failed-replica-detected",
+            progress["failed_index"] == 1,
+            f"suspected index {progress['failed_index']}",
+        ),
+        InvariantResult(
+            "repair-completed",
+            repairer.repairs == 1 and progress["rebound"] is True,
+            f"repairs={repairer.repairs} wal_drained={progress['drained']}",
+        ),
+        InvariantResult(
+            "inserts-replayed",
+            committed_inserts >= 1,
+            f"insert-bearing commits: {committed_inserts}",
+        ),
+        check_no_serialization_anomaly(coordinator),
+        check_read_your_writes(coordinator),
+        check_txn_acked_writes(coordinator),
+        check_no_errors(group_b, name="no-group-errors-b"),
+    ]
+    notes = [
+        f"committed={coordinator.commits} inserts={committed_inserts} "
+        f"failover_aborts={coordinator.aborts_failover} "
+        f"phantom_aborts={coordinator.aborts_phantom} "
         f"reissued={progress['reissued']} retried={progress['retried']} "
         f"read_failovers={tracker.failovers}"
     ]
@@ -1636,6 +1820,10 @@ SCENARIOS: Dict[str, _Scenario] = {
         _scenario_txn_failover,
         "replica crash mid-commit -> repair -> txn epoch reset + replay",
     ),
+    "txn-insert": _Scenario(
+        _scenario_txn_insert,
+        "replica crash under an insert-bearing commit install -> replay",
+    ),
     "txn-chaos": _Scenario(
         _scenario_txn_chaos,
         "SSI transaction mix + write skew on a drop+delay+duplicate fabric",
@@ -1655,6 +1843,7 @@ COMPOUND_SCENARIOS = (
     "double-crash",
     "stall-lossy",
     "client-crash",
+    "txn-insert",
     "txn-chaos",
     "txn-double-failover",
     "txn-reset-crash",

@@ -30,6 +30,7 @@ from .ssi import (
     build_serialization_edges,
     describe_cycle,
     find_cycle,
+    key_in_range,
 )
 from .workload import TxnWorkloadReport, build_txn_system, run_txn_workload
 from .ycsb import (
@@ -54,6 +55,7 @@ __all__ = [
     "build_serialization_edges",
     "describe_cycle",
     "find_cycle",
+    "key_in_range",
     "RetryPolicy",
     "NoRetry",
     "ImmediateRetry",

@@ -12,6 +12,17 @@ consistent hash. Isolation is Serializable Snapshot Isolation:
   replica under the Available-Copies rules, and cross-checks the
   one-sided durable read against the version chain.
 * ``write`` buffers locally; nothing touches the wire before commit.
+  ``insert`` is a write to a previously-unseen key — placement is the
+  same consistent hash, and the key's DB slot is assigned at commit
+  install time; concurrent duplicate inserts resolve by
+  first-committer-wins exactly like updates.
+* ``scan`` is a snapshot range read: it merges the per-group ordered
+  key indexes (plus the transaction's own buffered writes), serves
+  the first ``limit`` keys at or after ``start`` visible at the
+  snapshot — each durable slot cross-checked from an
+  Available-Copies-eligible replica of the owning group — and
+  records the covered *range* so a concurrent insert landing inside
+  it raises a phantom rw-antidependency edge.
 * ``commit`` validates first-committer-wins on the write set (any
   version newer than the snapshot aborts), applies the SSI pivot rule
   (a transaction with both incoming and outgoing rw-antidependency
@@ -39,7 +50,7 @@ from ..hw.cpu import Task
 from ..obs.trace import TRACER
 from .available_copies import AvailabilityTracker, NoAvailableCopy
 from .mvcc import VersionedGroupStore
-from .ssi import CommittedTxn, SerializationGraph
+from .ssi import CommittedTxn, SerializationGraph, key_in_range
 
 __all__ = ["TxnCoordinator", "Transaction", "TxnAborted"]
 
@@ -66,7 +77,16 @@ class Transaction:
     status: str = "active"  # active | committed | aborted
     reads: Dict[bytes, int] = field(default_factory=dict)  # key -> seen commit_ts
     writes: Dict[bytes, bytes] = field(default_factory=dict)
+    # Range reads: (start, last-returned-key-or-None) per scan — the
+    # predicate footprint phantom detection checks writes against.
+    scans: List[Tuple[bytes, Optional[bytes]]] = field(default_factory=list)
     abort_reason: Optional[str] = None
+
+    def reads_range(self, key: bytes) -> bool:
+        """Whether any of this transaction's scan ranges covers ``key``."""
+        return any(
+            key_in_range(key, start, end) for start, end in self.scans
+        )
 
 
 class TxnCoordinator:
@@ -135,6 +155,7 @@ class TxnCoordinator:
         self.commits = 0
         self.aborts_ww = 0
         self.aborts_ssi = 0
+        self.aborts_phantom = 0
         self.aborts_unavailable = 0
         self.aborts_failover = 0
         self.aborts_user = 0
@@ -260,19 +281,35 @@ class TxnCoordinator:
         return value
 
     def _note_read_edges(
-        self, txn: Transaction, store: VersionedGroupStore, key: bytes
+        self,
+        txn: Transaction,
+        store: VersionedGroupStore,
+        key: bytes,
+        phantom: bool = False,
     ) -> None:
         # Reader precedes any committed writer whose version it cannot
         # see (committed after our snapshot)...
         latest = store.latest(key)
         if latest is not None and latest.commit_ts > txn.snapshot_ts:
-            self.graph.add_rw(txn.txid, latest.txid)
+            self.graph.add_rw(txn.txid, latest.txid, phantom=phantom)
         # ...and any concurrent transaction with the key in its write
         # set. (The symmetric case — they write after we read — is
         # recorded by ``write``/``commit``.)
         for other in self.active.values():
             if other.txid != txn.txid and key in other.writes:
-                self.graph.add_rw(txn.txid, other.txid)
+                self.graph.add_rw(txn.txid, other.txid, phantom=phantom)
+
+    def _note_write_edges(self, txn: Transaction, key: bytes) -> None:
+        # Concurrent readers of this key — key-granular observations
+        # or a scan range covering it (the phantom case) — logically
+        # precede us.
+        for other in self.active.values():
+            if other.txid == txn.txid:
+                continue
+            if key in other.reads:
+                self.graph.add_rw(other.txid, txn.txid)
+            elif other.reads_range(key):
+                self.graph.add_rw(other.txid, txn.txid, phantom=True)
 
     def write(self, txn: Transaction, key: bytes, value: bytes) -> None:
         """Buffer a write (visible to this transaction's reads only)."""
@@ -280,12 +317,136 @@ class TxnCoordinator:
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError("values are bytes")
         txn.writes[key] = bytes(value)
-        # Concurrent readers of this key logically precede us.
-        for other in self.active.values():
-            if other.txid != txn.txid and key in other.reads:
-                self.graph.add_rw(other.txid, txn.txid)
+        self._note_write_edges(txn, key)
         if TRACER.enabled:
             TRACER.count("txn.write")
+
+    def insert(self, txn: Transaction, key: bytes, value: bytes) -> None:
+        """Buffer an insert: a write to a key absent at the snapshot.
+
+        Placement and buffering are exactly :meth:`write` — the key's
+        DB slot is assigned when the commit installs — but the intent
+        is checked: inserting a key this snapshot can already see is a
+        harness bug, not a race (a *concurrent* duplicate insert is a
+        race, and first-committer-wins settles it at commit).
+        """
+        self._check_active(txn)
+        store = self.stores[self.locate(key)]
+        if (
+            key not in txn.writes
+            and store.version_at(key, txn.snapshot_ts) is not None
+        ):
+            raise ValueError(
+                f"insert of key {key!r} visible at snapshot {txn.snapshot_ts}"
+            )
+        self.write(txn, key, value)
+        if TRACER.enabled:
+            TRACER.count("txn.insert")
+
+    def scan(
+        self, task: Task, txn: Transaction, start: bytes, limit: int
+    ) -> Generator:
+        """Snapshot range read: first ``limit`` keys at or after ``start``.
+
+        Returns ``[(key, value), ...]`` in ascending key order, merging
+        the per-group ordered indexes with the transaction's own
+        buffered writes. Every snapshot-visible result is cross-checked
+        against the durable slot of an Available-Copies-eligible
+        replica (chosen once per group per scan). Keys present in an
+        index but invisible at the snapshot are skipped, but still
+        recorded as absent reads — the rw edge to their post-snapshot
+        writer is exactly a phantom the scan must precede. The covered
+        range ``(start, last-returned)`` — or ``(start, None)`` when
+        the keyspace ran out before ``limit`` — is recorded so later
+        concurrent writes inside it raise phantom edges too.
+        """
+        self._check_active(txn)
+        if limit < 1:
+            raise ValueError("scan limit must be >= 1")
+        merged = set()
+        for store in self.stores:
+            merged.update(store.keys_from(start))
+        merged.update(key for key in txn.writes if key >= start)
+        results: List[Tuple[bytes, bytes]] = []
+        replicas: Dict[int, int] = {}
+        last_key: Optional[bytes] = None
+        for key in sorted(merged):
+            if key in txn.writes:
+                self.observations.append(
+                    {
+                        "txid": txn.txid,
+                        "kind": "own-write",
+                        "key": key,
+                        "value": txn.writes[key],
+                        "replica": None,
+                        "stale": False,
+                    }
+                )
+                results.append((key, txn.writes[key]))
+                last_key = key
+            else:
+                index = self.locate(key)
+                store = self.stores[index]
+                version = store.version_at(key, txn.snapshot_ts)
+                if version is None:
+                    # In the index, invisible at our snapshot: read as
+                    # absent. No network (nothing to serve), but the
+                    # edge to its newer writer is a phantom.
+                    txn.reads.setdefault(key, 0)
+                    self._note_read_edges(txn, store, key, phantom=True)
+                    continue
+                if index not in replicas:
+                    try:
+                        replicas[index] = yield from self.tracker.choose(
+                            task, index
+                        )
+                    except NoAvailableCopy as exc:
+                        self._abort(txn, "unavailable")
+                        raise TxnAborted(
+                            txn.txid, "unavailable", str(exc)
+                        ) from None
+                durable = yield from store.read_durable(
+                    task, key, replicas[index]
+                )
+                # The yields may span a failover reset; a zombie scan
+                # must not record observations or edges.
+                self._check_active(txn)
+                txn.reads.setdefault(key, version.commit_ts)
+                self._note_read_edges(txn, store, key)
+                self.observations.append(
+                    {
+                        "txid": txn.txid,
+                        "kind": "scan",
+                        "key": key,
+                        "value": version.value,
+                        "replica": replicas[index],
+                        "stale": durable is None
+                        or durable[0] < version.commit_ts,
+                    }
+                )
+                results.append((key, version.value))
+                last_key = key
+            if len(results) == limit:
+                break
+        # Next-key-locking convention: a full scan covers [start,
+        # last-returned]; one that exhausted the keyspace covers
+        # [start, +inf) — an insert anywhere past start would have
+        # changed its answer.
+        end = last_key if len(results) == limit else None
+        txn.scans.append((start, end))
+        # Writes already buffered by concurrent transactions inside
+        # the range are phantoms-in-waiting: note the edges now (the
+        # symmetric direction of ``_note_write_edges``).
+        for other in self.active.values():
+            if other.txid == txn.txid:
+                continue
+            for key in other.writes:
+                if key not in txn.reads and key_in_range(key, start, end):
+                    self.graph.add_rw(txn.txid, other.txid, phantom=True)
+                    break
+        if TRACER.enabled:
+            TRACER.count("txn.scan")
+        return results
 
     def abort(self, txn: Transaction, reason: str = "user") -> None:
         """Caller-initiated abort; idempotent."""
@@ -301,6 +462,7 @@ class TxnCoordinator:
         counter = {
             "ww-conflict": "aborts_ww",
             "ssi-pivot": "aborts_ssi",
+            "ssi-phantom": "aborts_phantom",
             "unavailable": "aborts_unavailable",
             "failover": "aborts_failover",
         }.get(reason, "aborts_user")
@@ -342,16 +504,16 @@ class TxnCoordinator:
                         "ww-conflict",
                         f"{key!r} written by T{latest.txid} after our snapshot",
                     )
-            # Refresh rw edges from readers that began after our writes.
+            # Refresh rw edges from readers (key-granular or range)
+            # that observed state after our writes were buffered.
             for key in sorted(txn.writes):
-                for other in self.active.values():
-                    if other.txid != txn.txid and key in other.reads:
-                        self.graph.add_rw(other.txid, txn.txid)
+                self._note_write_edges(txn, key)
             if self.mode == "ssi":
-                detail = self.graph.pivot_detail(txn.txid)
-                if detail is not None:
-                    self._abort(txn, "ssi-pivot")
-                    raise TxnAborted(txn.txid, "ssi-pivot", detail)
+                found = self.graph.pivot(txn.txid)
+                if found is not None:
+                    detail, reason = found
+                    self._abort(txn, reason)
+                    raise TxnAborted(txn.txid, reason, detail)
             commit_ts = self._tick()
             per_group: Dict[int, List[Tuple[bytes, bytes]]] = {}
             for key in sorted(txn.writes):
@@ -432,6 +594,7 @@ class TxnCoordinator:
                 commit_ts=commit_ts,
                 reads=dict(txn.reads),
                 writes=tuple(sorted(txn.writes)),
+                scans=tuple(txn.scans),
             )
         )
         self.commits += 1
@@ -476,6 +639,7 @@ class TxnCoordinator:
             "commits": self.commits,
             "aborts_ww": self.aborts_ww,
             "aborts_ssi": self.aborts_ssi,
+            "aborts_phantom": self.aborts_phantom,
             "aborts_unavailable": self.aborts_unavailable,
             "aborts_failover": self.aborts_failover,
             "aborts_user": self.aborts_user,

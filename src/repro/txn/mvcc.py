@@ -29,6 +29,7 @@ records so the ring cannot fill with orphans.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -83,6 +84,10 @@ class VersionedGroupStore:
             raise ValueError("DB area too small for a single version slot")
         self._slots: Dict[bytes, int] = {}  # key -> slot index
         self.versions: Dict[bytes, List[Version]] = {}  # ascending commit_ts
+        # Ordered index over published keys: what snapshot scans walk.
+        # Maintained at publish time (commits are serialized by the
+        # coordinator latch, so insertion order is deterministic).
+        self._ordered: List[bytes] = []
         self.installs = 0
 
     @property
@@ -144,10 +149,15 @@ class VersionedGroupStore:
         """Make installed versions visible to snapshot reads.
 
         Synchronous (no yields): all of a transaction's versions
-        appear atomically with respect to every other task.
+        appear atomically with respect to every other task. A key's
+        first published version also enters the ordered key index —
+        this is how an insert becomes scannable.
         """
         for key, value in items:
-            self.versions.setdefault(key, []).append(Version(commit_ts, txid, value))
+            chain = self.versions.setdefault(key, [])
+            if not chain:
+                insort(self._ordered, key)
+            chain.append(Version(commit_ts, txid, value))
 
     # -- snapshot reads -----------------------------------------------------------
 
@@ -165,6 +175,17 @@ class VersionedGroupStore:
         """Newest published version of a key (any snapshot)."""
         chain = self.versions.get(key)
         return chain[-1] if chain else None
+
+    def keys_from(self, start: bytes) -> Tuple[bytes, ...]:
+        """Published keys ``>= start`` in ascending order, as of now.
+
+        Returns a snapshot slice (a scan yields between key reads, and
+        a commit publishing mid-scan must not shift the walk); keys
+        whose only versions are newer than the caller's snapshot still
+        appear — the caller must skip them, and note the rw edge they
+        imply.
+        """
+        return tuple(self._ordered[bisect_left(self._ordered, start) :])
 
     def read_durable(self, task: Task, key: bytes, replica: int) -> Generator:
         """One-sided read of the key's slot from a replica.

@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 
-CONTENTION_REASONS = frozenset({"ssi-pivot", "ww-conflict"})
+CONTENTION_REASONS = frozenset({"ssi-pivot", "ssi-phantom", "ww-conflict"})
 """Aborts where the transaction lost a race: back off, then retry."""
 
 AVAILABILITY_REASONS = frozenset({"unavailable"})

@@ -9,16 +9,26 @@ T2" — and aborting, at commit time, any transaction that is the
 outgoing rw edge to concurrent transactions (Cahill et al., and the
 RepCRec-SSI exemplar this repo follows).
 
+Reads are not only per-key: a ``scan(start, limit)`` reads a
+*predicate* — "the first ``limit`` keys at or after ``start``" — and
+a write landing **inside that range** changes the predicate's answer
+even though the scanner never read the key (a phantom). Range reads
+therefore carry their own rw edges, flagged ``phantom`` so the pivot
+abort can name ``ssi-phantom`` instead of ``ssi-pivot``; the edge
+semantics are otherwise identical.
+
 Two faces of the same graph live here:
 
-* :class:`SerializationGraph` — the online edge set the coordinator
-  maintains while transactions run; queried at commit for the pivot
-  rule.
+* :class:`SerializationGraph` — the online edge set (per-key and
+  range/phantom rw edges) the coordinator maintains while
+  transactions run; queried at commit for the pivot rule.
 * :func:`build_serialization_edges` / :func:`find_cycle` — the
   offline reconstruction over a committed history (ww + wr + rw
-  edges), used by the ``no-serialization-anomaly`` chaos invariant: a
-  cycle in the committed graph is a serializability violation, full
-  stop, whatever the online rules claimed.
+  edges, including predicate rw edges from each transaction's
+  recorded scan ranges), used by the ``no-serialization-anomaly``
+  chaos invariant: a cycle in the committed graph is a
+  serializability violation, full stop, whatever the online rules
+  claimed.
 
 Everything is deterministic: edges are plain sets ordered on demand,
 cycle search visits nodes in sorted order, and nothing reads a clock.
@@ -35,7 +45,22 @@ __all__ = [
     "build_serialization_edges",
     "find_cycle",
     "describe_cycle",
+    "key_in_range",
 ]
+
+
+def key_in_range(
+    key: bytes, start: bytes, end: Optional[bytes]
+) -> bool:
+    """Whether ``key`` falls inside a scan's range.
+
+    A scan that filled its limit covers ``[start, end]`` (``end`` =
+    the last key it returned, inclusive); one that ran off the end of
+    the keyspace covers ``[start, +inf)`` (``end is None``) — the
+    next-key-locking convention: inserting *anywhere* past ``start``
+    would have changed its result.
+    """
+    return key >= start and (end is None or key <= end)
 
 
 @dataclass(frozen=True)
@@ -47,6 +72,10 @@ class CommittedTxn:
     state). Reads served from the transaction's own write buffer are
     not snapshot observations and do not appear here. ``writes`` is
     the sorted tuple of keys written; values live in the MVCC stores.
+    ``scans`` records each range read as ``(start, end)`` — ``end``
+    the last key returned (inclusive), or ``None`` for a scan that
+    exhausted the keyspace — so the offline checker can reconstruct
+    predicate (phantom) rw edges.
     """
 
     txid: int
@@ -54,21 +83,32 @@ class CommittedTxn:
     commit_ts: int
     reads: Mapping[bytes, int]
     writes: Tuple[bytes, ...]
+    scans: Tuple[Tuple[bytes, Optional[bytes]], ...] = ()
 
 
 class SerializationGraph:
-    """Online rw-antidependency edges among in-flight transactions."""
+    """Online rw-antidependency edges among in-flight transactions.
+
+    Edges added with ``phantom=True`` came from a range read (a write
+    landing inside a concurrent scanner's range) rather than a
+    key-granular observation; the pivot rule treats them identically
+    but reports the abort as ``ssi-phantom`` so workloads can count
+    predicate conflicts separately.
+    """
 
     def __init__(self) -> None:
         self._in: Dict[int, Set[int]] = {}
         self._out: Dict[int, Set[int]] = {}
+        self._phantom: Set[Tuple[int, int]] = set()
 
-    def add_rw(self, reader: int, writer: int) -> None:
+    def add_rw(self, reader: int, writer: int, phantom: bool = False) -> None:
         """Record ``reader -rw-> writer`` (reader must precede writer)."""
         if reader == writer:
             return
         self._out.setdefault(reader, set()).add(writer)
         self._in.setdefault(writer, set()).add(reader)
+        if phantom:
+            self._phantom.add((reader, writer))
 
     def forget(self, txid: int) -> None:
         """Drop a finished transaction and every edge touching it."""
@@ -76,23 +116,36 @@ class SerializationGraph:
             peers = self._in.get(peer)
             if peers is not None:
                 peers.discard(txid)
+            self._phantom.discard((txid, peer))
         for peer in self._in.pop(txid, ()):
             peers = self._out.get(peer)
             if peers is not None:
                 peers.discard(txid)
+            self._phantom.discard((peer, txid))
 
-    def pivot_detail(self, txid: int) -> Optional[str]:
-        """If ``txid`` is the pivot of a dangerous structure, describe it.
+    def pivot(self, txid: int) -> Optional[Tuple[str, str]]:
+        """If ``txid`` is the pivot of a dangerous structure, name it.
 
         The pivot has at least one incoming and one outgoing rw edge;
-        SSI aborts it rather than prove the cycle. Returns ``None``
-        when the commit is safe.
+        SSI aborts it rather than prove the cycle. Returns ``(detail,
+        reason)`` — reason ``"ssi-phantom"`` when any of the pivot's
+        rw edges is a predicate (range) edge, ``"ssi-pivot"``
+        otherwise — or ``None`` when the commit is safe.
         """
         ins = self._in.get(txid)
         outs = self._out.get(txid)
-        if ins and outs:
-            return f"T{min(ins)} -rw-> T{txid} -rw-> T{min(outs)}"
-        return None
+        if not ins or not outs:
+            return None
+        phantom = any(
+            (peer, txid) in self._phantom for peer in ins
+        ) or any((txid, peer) in self._phantom for peer in outs)
+        detail = f"T{min(ins)} -rw-> T{txid} -rw-> T{min(outs)}"
+        return detail, ("ssi-phantom" if phantom else "ssi-pivot")
+
+    def pivot_detail(self, txid: int) -> Optional[str]:
+        """:meth:`pivot`'s description alone (compatibility helper)."""
+        found = self.pivot(txid)
+        return None if found is None else found[0]
 
 
 # -- offline reconstruction (the anomaly checker) ----------------------------------
@@ -111,7 +164,10 @@ def build_serialization_edges(
       the reader.
     * ``rw`` — a reader precedes the first writer that installed a
       version newer than the one it observed (later writers are
-      reachable through ``ww``).
+      reachable through ``ww``). The same kind covers predicate
+      reads: a scanner precedes the first writer of any key inside
+      one of its recorded ranges whose version the scan could not
+      see (a key absent at the snapshot — the phantom case).
 
     Returns sorted ``(src_txid, dst_txid, kind)`` triples.
     """
@@ -139,6 +195,21 @@ def build_serialization_edges(
                 if overwriter.commit_ts > seen_ts and overwriter.txid != txn.txid:
                     edges.add((txn.txid, overwriter.txid, "rw"))
                     break
+        # Predicate reads: any key a recorded range covers that the
+        # scan did not observe per-key was read as *absent* at the
+        # snapshot — the first writer to give it a newer version is a
+        # phantom the scanner must precede.
+        for start, end in txn.scans:
+            for key, writers in writers_by_key.items():
+                if key in txn.reads or not key_in_range(key, start, end):
+                    continue
+                for overwriter in writers:
+                    if (
+                        overwriter.commit_ts > txn.begin_ts
+                        and overwriter.txid != txn.txid
+                    ):
+                        edges.add((txn.txid, overwriter.txid, "rw"))
+                        break
     return sorted(edges)
 
 

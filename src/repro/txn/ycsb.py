@@ -9,10 +9,15 @@ than being dropped. This is the scale-out evaluation surface the
 SafarDB comparison calls for — commit throughput, abort rate by
 reason, and retry amplification per mix.
 
-Only the transactional mixes run here: A (50/50 read/update), B
-(95/5), C (read-only), and F (read-modify-write). D and E need
-inserts/scans, which the coordinator's fixed keyspace does not model
-— asking for them raises rather than silently approximating.
+All six Cooper mixes run here: A (50/50 read/update), B (95/5), C
+(read-only), F (read-modify-write), D (95/5 read/insert, "latest"
+distribution), and E (95/5 scan/insert). Inserts place previously
+unseen keys by the coordinator's consistent hash (DB slots assigned
+at commit install); scans are snapshot range reads over the per-group
+ordered key indexes, with the covered range feeding SSI's phantom
+(``ssi-phantom``) detection. E's scan lengths are drawn from the
+workload's seeded scan stream, capped by ``max_scan`` to keep the
+simulated read fan-out bounded.
 
 Determinism: the operation stream comes from ``YcsbWorkload``'s own
 named streams (pure functions of ``(mix, seed)``), the retry jitter
@@ -26,7 +31,7 @@ like the chaos runner).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..bench.harness import run_until
@@ -48,8 +53,8 @@ __all__ = [
 ]
 
 
-TXN_MIXES: Tuple[str, ...] = ("A", "B", "C", "F")
-"""Mixes expressible as fixed-keyspace transactions (no insert/scan)."""
+TXN_MIXES: Tuple[str, ...] = ("A", "B", "C", "D", "E", "F")
+"""Every Cooper mix, now that inserts and scans are transactional."""
 
 
 @dataclass
@@ -76,6 +81,9 @@ class YcsbTxnReport:
     throughput_tps: float
     sim_ms: float
     anomaly: str
+    aborts_phantom: int = 0
+    inserts: int = 0
+    scans: int = 0
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -83,6 +91,7 @@ class YcsbTxnReport:
         return (
             self.aborts_ww
             + self.aborts_ssi
+            + self.aborts_phantom
             + self.aborts_unavailable
             + self.aborts_other
         )
@@ -92,20 +101,27 @@ class YcsbTxnReport:
         return self.aborts / self.attempts if self.attempts else 0.0
 
     def render(self) -> str:
+        lines = [
+            f"    mix {self.mix}: {self.committed}/{self.n_txns} txns committed "
+            f"({self.ops} ops, {self.attempts} attempts)",
+            f"        throughput={self.throughput_tps:.0f} txn/s "
+            f"abort_rate={100.0 * self.abort_rate():.1f}% "
+            f"amplification={self.amplification:.2f}",
+            f"        aborts: ww={self.aborts_ww} ssi={self.aborts_ssi} "
+            f"phantom={self.aborts_phantom} "
+            f"unavailable={self.aborts_unavailable} other={self.aborts_other} "
+            f"gave_up={self.gave_up}",
+        ]
+        if self.inserts or self.scans:
+            lines.append(
+                f"        inserts={self.inserts} scans={self.scans}"
+            )
+        lines.append(
+            f"        retries={self.retries} backoff={self.backoff_ms:.3f}ms "
+            f"sim_time={self.sim_ms:.3f}ms anomaly={self.anomaly}"
+        )
         return "\n".join(
-            [
-                f"    mix {self.mix}: {self.committed}/{self.n_txns} txns committed "
-                f"({self.ops} ops, {self.attempts} attempts)",
-                f"        throughput={self.throughput_tps:.0f} txn/s "
-                f"abort_rate={100.0 * self.abort_rate():.1f}% "
-                f"amplification={self.amplification:.2f}",
-                f"        aborts: ww={self.aborts_ww} ssi={self.aborts_ssi} "
-                f"unavailable={self.aborts_unavailable} other={self.aborts_other} "
-                f"gave_up={self.gave_up}",
-                f"        retries={self.retries} backoff={self.backoff_ms:.3f}ms "
-                f"sim_time={self.sim_ms:.3f}ms anomaly={self.anomaly}",
-            ]
-            + [f"        error: {error}" for error in self.errors]
+            lines + [f"        error: {error}" for error in self.errors]
         )
 
 
@@ -164,17 +180,20 @@ def run_ycsb_mix(
     retry: str = "backoff",
     install: Optional[str] = None,
     deadline_ms: int = 30_000,
+    max_scan: int = 12,
 ) -> YcsbTxnReport:
     """Run one YCSB mix transactionally; returns the deterministic report."""
     try:
         workload_mix = WORKLOADS[mix]
     except KeyError:
-        raise ValueError(f"unknown YCSB mix {mix!r}") from None
-    if workload_mix.insert or workload_mix.scan:
         raise ValueError(
-            f"mix {mix!r} needs inserts/scans; transactional mixes are "
+            f"unknown YCSB mix {mix!r}; supported mixes are "
             f"{'/'.join(TXN_MIXES)}"
-        )
+        ) from None
+    if workload_mix.max_scan_length > max_scan:
+        # Bound E's simulated read fan-out; the draw still comes from
+        # the workload's seeded scan stream, so reports stay pinned.
+        workload_mix = replace(workload_mix, max_scan_length=max_scan)
 
     sim = Simulator(seed=seed)
     cluster = Cluster(sim, n_hosts=4, n_cores=4)
@@ -188,7 +207,17 @@ def run_ycsb_mix(
         workload_mix, record_count=n_keys, value_size=value_size, seed=seed
     )
     txn_plans = _plan_txns(workload, n_txns, ops_per_txn)
-    keys = [f"y{index:04d}".encode() for index in range(n_keys)]
+    n_inserts = sum(
+        1 for plan in txn_plans for op in plan if op.kind == "insert"
+    )
+    n_scans = sum(
+        1 for plan in txn_plans for op in plan if op.kind == "scan"
+    )
+
+    def keyname(index: int) -> bytes:
+        return f"y{index:04d}".encode()
+
+    keys = [keyname(index) for index in range(n_keys)]
 
     def payload(key: int, txn_index: int) -> bytes:
         stamp = f"{mix}/{key}/{txn_index}".encode()
@@ -214,11 +243,22 @@ def run_ycsb_mix(
         def attempt(task):
             txn = yield from coordinator.begin(task)
             for op in plan:
-                key = keys[op.key % n_keys]
+                # Dynamic mixes draw keys from the grown keyspace, so
+                # names come straight from the operation index; reads
+                # can race an insert's commit and legitimately miss.
+                key = keyname(op.key)
                 if op.kind == "read":
                     yield from coordinator.read(task, txn, key)
                 elif op.kind == "update":
                     coordinator.write(txn, key, payload(op.key, txn_index))
+                elif op.kind == "insert":
+                    coordinator.insert(
+                        txn, key, payload(op.key, txn_index)
+                    )
+                elif op.kind == "scan":
+                    yield from coordinator.scan(
+                        task, txn, key, op.scan_length
+                    )
                 else:  # modify: YCSB's read-modify-write
                     value = yield from coordinator.read(task, txn, key)
                     coordinator.write(txn, key, bump(value, op.key, txn_index))
@@ -268,6 +308,9 @@ def run_ycsb_mix(
         retry=policy.name,
         aborts_ww=coordinator.aborts_ww,
         aborts_ssi=coordinator.aborts_ssi,
+        aborts_phantom=coordinator.aborts_phantom,
+        inserts=n_inserts,
+        scans=n_scans,
         aborts_unavailable=coordinator.aborts_unavailable,
         aborts_other=coordinator.aborts_failover + coordinator.aborts_user,
         throughput_tps=(

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 __all__ = [
     "ZipfianGenerator",
@@ -64,11 +64,23 @@ class UniformGenerator:
     def next(self) -> int:
         return self.rng.randrange(self.item_count)
 
+    def grow(self) -> None:
+        """Record an insert: later draws cover the extended keyspace."""
+        self.item_count += 1
+
 
 class ZipfianGenerator:
     """Gray et al. incremental zipfian generator (YCSB's algorithm).
 
     Favors low item numbers; theta defaults to the YCSB constant.
+    ``grow`` extends the keyspace with YCSB's incremental zeta update
+    — each insert appends its one new term to the running harmonic sum
+    instead of recomputing all ``item_count`` terms, so a stream of N
+    inserts costs O(N) zeta terms total, not O(N^2). The accumulation
+    order matches a from-scratch rebuild exactly (terms added
+    ``1..n`` left to right), so the two paths are bit-identical;
+    ``zeta_terms`` counts terms ever computed so tests can pin the
+    complexity bound.
     """
 
     def __init__(self, item_count: int, rng: random.Random, theta: float = ZIPFIAN_CONSTANT):
@@ -77,20 +89,40 @@ class ZipfianGenerator:
         self.item_count = item_count
         self.rng = rng
         self.theta = theta
+        self.zeta_terms = 0
         self.zeta_n = self._zeta(item_count, theta)
         self.alpha = 1.0 / (1.0 - theta)
-        self.zeta2 = self._zeta(2, theta)
+        self.zeta2 = sum(1.0 / (i ** theta) for i in range(1, 3))
+        self._recompute_eta()
+
+    def _zeta(self, n: int, theta: float, start: float = 0.0, from_n: int = 0) -> float:
+        self.zeta_terms += n - from_n
+        accumulator = start
+        for i in range(from_n + 1, n + 1):
+            accumulator += 1.0 / (i ** theta)
+        return accumulator
+
+    def _recompute_eta(self) -> None:
         denominator = 1 - self.zeta2 / self.zeta_n
-        if item_count <= 2 or denominator == 0:
+        if self.item_count <= 2 or denominator == 0:
             # Degenerate keyspaces: the alpha branch is never the
             # right answer, fall through to the first-two-items cases.
             self.eta = 0.0
         else:
-            self.eta = (1 - (2.0 / item_count) ** (1 - theta)) / denominator
+            self.eta = (
+                1 - (2.0 / self.item_count) ** (1 - self.theta)
+            ) / denominator
 
-    @staticmethod
-    def _zeta(n: int, theta: float) -> float:
-        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+    def grow(self, item_count: Optional[int] = None) -> None:
+        """Extend the keyspace (default: by one), updating zeta incrementally."""
+        new_count = self.item_count + 1 if item_count is None else item_count
+        if new_count < self.item_count:
+            raise ValueError("keyspaces only grow")
+        self.zeta_n = self._zeta(
+            new_count, self.theta, start=self.zeta_n, from_n=self.item_count
+        )
+        self.item_count = new_count
+        self._recompute_eta()
 
     def next(self) -> int:
         u = self.rng.random()
@@ -117,6 +149,11 @@ class ScrambledZipfianGenerator:
     def next(self) -> int:
         return fnv1a_64(self._zipf.next()) % self.item_count
 
+    def grow(self) -> None:
+        """Record an insert: new keys join the scrambled distribution."""
+        self.item_count += 1
+        self._zipf.grow(self.item_count)
+
 
 class LatestGenerator:
     """Skewed towards recently inserted items (workload D)."""
@@ -132,7 +169,7 @@ class LatestGenerator:
     def grow(self) -> None:
         """Record an insert: the newest item becomes the hottest."""
         self.item_count += 1
-        self._zipf = ZipfianGenerator(self.item_count, self._zipf.rng)
+        self._zipf.grow(self.item_count)
 
 
 @dataclass(frozen=True)
@@ -210,9 +247,10 @@ class YcsbWorkload:
         self._scan_rng = random.Random(f"ycsb-scan/{mix.name}/{seed}")
 
     def _next_key(self) -> int:
+        # Every chooser tracks keyspace growth (``grow`` on insert),
+        # so draws cover the live keyspace; the clamp only guards a
+        # custom chooser that ignores growth.
         key = self._chooser.next()
-        # Choosers are built over the initial keyspace; clamp into the
-        # live keyspace (inserts extend it).
         return key % self.inserted
 
     def next_operation(self) -> Operation:
@@ -228,8 +266,9 @@ class YcsbWorkload:
         if roll < mix.insert:
             key = self.inserted
             self.inserted += 1
-            if isinstance(self._chooser, LatestGenerator):
-                self._chooser.grow()
+            grow = getattr(self._chooser, "grow", None)
+            if grow is not None:
+                grow()
             return Operation("insert", key, value_size=self.value_size)
         roll -= mix.insert
         if roll < mix.modify:

@@ -29,6 +29,7 @@ class TestCompoundScenarios:
             "txn-chaos",
             "txn-double-failover",
             "txn-reset-crash",
+            "txn-insert",
         }
         for name in COMPOUND_SCENARIOS:
             assert name in SCENARIOS

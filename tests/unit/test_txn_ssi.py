@@ -20,6 +20,7 @@ from repro.txn import (
     build_txn_system,
     describe_cycle,
     find_cycle,
+    key_in_range,
 )
 
 
@@ -74,6 +75,41 @@ class TestSerializationGraph:
         graph.add_rw(5, 5)
         assert graph.pivot_detail(5) is None
 
+    def test_pivot_reason_plain_vs_phantom(self):
+        graph = SerializationGraph()
+        graph.add_rw(1, 2)
+        graph.add_rw(2, 3)
+        assert graph.pivot(2) == ("T1 -rw-> T2 -rw-> T3", "ssi-pivot")
+        phantom = SerializationGraph()
+        phantom.add_rw(1, 2, phantom=True)
+        phantom.add_rw(2, 3)
+        assert phantom.pivot(2) == ("T1 -rw-> T2 -rw-> T3", "ssi-phantom")
+        outbound = SerializationGraph()
+        outbound.add_rw(1, 2)
+        outbound.add_rw(2, 3, phantom=True)
+        assert outbound.pivot(2)[1] == "ssi-phantom"
+
+    def test_forget_clears_phantom_marks(self):
+        graph = SerializationGraph()
+        graph.add_rw(1, 2, phantom=True)
+        graph.add_rw(2, 3, phantom=True)
+        graph.forget(2)
+        graph.add_rw(1, 2)
+        graph.add_rw(2, 3)
+        assert graph.pivot(2)[1] == "ssi-pivot"  # old marks must not stick
+
+
+class TestKeyInRange:
+    def test_bounded_range_inclusive_both_ends(self):
+        assert key_in_range(b"k05", b"k05", b"k09")
+        assert key_in_range(b"k09", b"k05", b"k09")
+        assert not key_in_range(b"k04", b"k05", b"k09")
+        assert not key_in_range(b"k10", b"k05", b"k09")
+
+    def test_open_range_covers_everything_past_start(self):
+        assert key_in_range(b"zzz", b"k05", None)
+        assert not key_in_range(b"k04", b"k05", None)
+
 
 class TestOfflineChecker:
     def test_write_skew_history_has_a_cycle(self):
@@ -108,6 +144,60 @@ class TestOfflineChecker:
         assert (1, 2, "ww") in edges
         assert (1, 3, "wr") in edges
         assert (3, 2, "rw") in edges
+
+    def test_predicate_edges_from_recorded_scans(self):
+        history = [
+            # Scanner covered [k00, k09] but never observed k05 per-key.
+            CommittedTxn(
+                1, begin_ts=1, commit_ts=20, reads={b"k02": 0},
+                writes=(), scans=((b"k00", b"k09"),),
+            ),
+            # Inserted k05 after the scanner's snapshot: phantom rw edge.
+            CommittedTxn(2, begin_ts=2, commit_ts=10, reads={}, writes=(b"k05",)),
+            # Writes outside the range raise no predicate edge.
+            CommittedTxn(3, begin_ts=3, commit_ts=12, reads={}, writes=(b"k10",)),
+        ]
+        edges = build_serialization_edges(history)
+        assert (1, 2, "rw") in edges
+        assert (1, 3, "rw") not in edges
+
+    def test_open_ended_scan_covers_all_later_keys(self):
+        history = [
+            CommittedTxn(
+                1, begin_ts=1, commit_ts=20, reads={}, writes=(),
+                scans=((b"k05", None),),
+            ),
+            CommittedTxn(2, begin_ts=2, commit_ts=10, reads={}, writes=(b"zz",)),
+            CommittedTxn(3, begin_ts=3, commit_ts=12, reads={}, writes=(b"k00",)),
+        ]
+        edges = build_serialization_edges(history)
+        assert (1, 2, "rw") in edges
+        assert (1, 3, "rw") not in edges
+
+    def test_scan_keys_already_read_are_not_double_counted(self):
+        # The scanner saw k05's version at ts 10; the per-key rule owns
+        # that edge (there is no newer version, so no rw at all).
+        history = [
+            CommittedTxn(1, begin_ts=11, commit_ts=20, reads={b"k05": 10},
+                         writes=(), scans=((b"k00", b"k09"),)),
+            CommittedTxn(2, begin_ts=2, commit_ts=10, reads={}, writes=(b"k05",)),
+        ]
+        edges = build_serialization_edges(history)
+        assert (1, 2, "rw") not in edges
+        assert (2, 1, "wr") in edges
+
+    def test_phantom_write_skew_history_cycles(self):
+        # Two scanners, each inserting into the other's range — the
+        # predicate analogue of the classic write-skew cycle.
+        history = [
+            CommittedTxn(1, begin_ts=1, commit_ts=10, reads={},
+                         writes=(b"b01",), scans=((b"a00", b"a99"),)),
+            CommittedTxn(2, begin_ts=2, commit_ts=11, reads={},
+                         writes=(b"a01",), scans=((b"b00", b"b99"),)),
+        ]
+        cycle = find_cycle(history)
+        assert cycle is not None and set(cycle) == {1, 2}
+        assert describe_cycle(history) == "T1 -rw-> T2 -rw-> T1"
 
 
 class TestIsolation:
@@ -229,3 +319,95 @@ class TestIsolation:
 
         assert drive(sim, cluster, body)
         assert describe_cycle(coordinator.history) == "none"
+
+
+class TestScans:
+    def test_scan_snapshot_stable_and_later_snapshot_sees_insert(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            yield from seed_keys(coordinator, task, [b"s01", b"s03", b"s05"])
+            txn = yield from coordinator.begin(task)
+            first = yield from coordinator.scan(task, txn, b"s00", 10)
+            writer = yield from coordinator.begin(task)
+            coordinator.insert(writer, b"s02", b"\x07" * 8)
+            yield from coordinator.commit(task, writer)
+            second = yield from coordinator.scan(task, txn, b"s00", 10)
+            yield from coordinator.commit(task, txn)
+            fresh = yield from coordinator.begin(task)
+            third = yield from coordinator.scan(task, fresh, b"s00", 10)
+            yield from coordinator.commit(task, fresh)
+            return first, second, third
+
+        first, second, third = drive(sim, cluster, body)
+        assert [key for key, _ in first] == [b"s01", b"s03", b"s05"]
+        assert second == first  # snapshot held despite the new insert
+        assert [key for key, _ in third] == [b"s01", b"s02", b"s03", b"s05"]
+        assert describe_cycle(coordinator.history) == "none"
+
+    def test_scan_includes_own_buffered_inserts(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            yield from seed_keys(coordinator, task, [b"t01", b"t05"])
+            txn = yield from coordinator.begin(task)
+            coordinator.insert(txn, b"t03", b"mine-own")
+            results = yield from coordinator.scan(task, txn, b"t00", 10)
+            yield from coordinator.commit(task, txn)
+            return results
+
+        results = drive(sim, cluster, body)
+        assert results == [
+            (b"t01", b"\x01" * 8),
+            (b"t03", b"mine-own"),
+            (b"t05", b"\x01" * 8),
+        ]
+
+    def test_scan_limit_and_range_recording(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            yield from seed_keys(
+                coordinator, task, [b"u%02d" % i for i in range(5)]
+            )
+            txn = yield from coordinator.begin(task)
+            short = yield from coordinator.scan(task, txn, b"u01", 2)
+            exhausted = yield from coordinator.scan(task, txn, b"u03", 10)
+            ranges = list(txn.scans)
+            yield from coordinator.commit(task, txn)
+            return short, exhausted, ranges
+
+        short, exhausted, ranges = drive(sim, cluster, body)
+        assert [key for key, _ in short] == [b"u01", b"u02"]
+        assert [key for key, _ in exhausted] == [b"u03", b"u04"]
+        # Filled limit: closed at the last returned key. Ran off the
+        # end: open-ended (next-key-locking convention).
+        assert ranges == [(b"u01", b"u02"), (b"u03", None)]
+
+    def test_insert_of_visible_key_rejected(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            yield from seed_keys(coordinator, task, [b"dup"])
+            txn = yield from coordinator.begin(task)
+            with pytest.raises(ValueError, match="visible at snapshot"):
+                coordinator.insert(txn, b"dup", b"\x02" * 8)
+            coordinator.abort(txn)
+            return True
+
+        assert drive(sim, cluster, body)
+
+    def test_concurrent_duplicate_insert_first_committer_wins(self):
+        sim, cluster, coordinator = make()
+
+        def body(task):
+            first = yield from coordinator.begin(task)
+            second = yield from coordinator.begin(task)
+            coordinator.insert(first, b"race", b"\x01" * 8)
+            coordinator.insert(second, b"race", b"\x02" * 8)
+            yield from coordinator.commit(task, first)
+            with pytest.raises(TxnAborted) as exc_info:
+                yield from coordinator.commit(task, second)
+            return exc_info.value.reason
+
+        assert drive(sim, cluster, body) == "ww-conflict"

@@ -4,8 +4,9 @@ The suite rendering must be a pure function of ``(mixes, seed,
 params)``: byte-identical when run twice, across pool worker counts,
 with the batched dispatch loop flipped to its one-pop oracle
 (``REPRO_FAST_DISPATCH=0``), and under ``REPRO_SHARDS=1`` containment
-(each mix point re-run in a worker process). Plus the mix-vocabulary
-edges: D/E need inserts/scans and must raise, not approximate.
+(each mix point re-run in a worker process). All six Cooper mixes run
+— D and E drive the coordinator's insert and snapshot-scan paths —
+and unknown mixes fail with the full supported vocabulary.
 """
 
 import os
@@ -42,13 +43,56 @@ def test_mix_report_is_reasonable():
     assert readonly.amplification == 1.0
 
 
-def test_non_transactional_mixes_raise():
-    for mix in ("D", "E"):
-        assert mix not in TXN_MIXES
-        with pytest.raises(ValueError, match="inserts/scans"):
-            run_ycsb_mix(mix=mix, seed=7, **SMALL)
-    with pytest.raises(ValueError, match="unknown"):
+def test_all_six_mixes_supported():
+    assert TXN_MIXES == ("A", "B", "C", "D", "E", "F")
+
+
+def test_unknown_mix_lists_supported_set():
+    with pytest.raises(ValueError, match="A/B/C/D/E/F"):
         run_ycsb_mix(mix="Z", seed=7)
+
+
+def test_workload_d_runs_with_inserts():
+    report = run_ycsb_mix(mix="D", seed=7, **SMALL)
+    assert report.inserts >= 1 and report.scans == 0
+    assert report.committed + report.gave_up == report.n_txns
+    assert report.anomaly == "none"
+    assert report.errors == []
+
+
+def test_workload_e_runs_with_scans():
+    report = run_ycsb_mix(mix="E", seed=7, **SMALL)
+    assert report.scans >= 1
+    assert report.committed + report.gave_up == report.n_txns
+    assert report.anomaly == "none"
+    assert report.errors == []
+
+
+def test_dynamic_mixes_render_identically_across_runs():
+    base = run_ycsb(mixes=("D", "E"), seed=7, workers=1, **SMALL)
+    again = run_ycsb(mixes=("D", "E"), seed=7, workers=1, **SMALL)
+    pooled = run_ycsb(mixes=("D", "E"), seed=7, workers=4, **SMALL)
+    assert base.render() == again.render()
+    assert base.render() == pooled.render()
+    assert base.ok
+
+
+def test_dynamic_mixes_identical_across_dispatch_modes():
+    base = run_ycsb(mixes=("D", "E"), seed=7, workers=1, **SMALL)
+    os.environ["REPRO_FAST_DISPATCH"] = "0"
+    oracle = run_ycsb(mixes=("D", "E"), seed=7, workers=1, **SMALL)
+    assert oracle.render() == base.render()
+
+
+def test_dynamic_mix_point_identical_under_containment():
+    base = run_ycsb_mix(mix="E", seed=7, **SMALL)
+    os.environ["REPRO_SHARDS"] = "1"
+    from repro.txn import run_ycsb_point
+
+    contained = run_ycsb_point("E", seed=7, **SMALL)
+    assert "REPRO_SHARD_ROLE" not in os.environ  # worker env never leaks
+    assert contained.render() == base.render()
+    assert contained == base
 
 
 def test_suite_renders_identically_across_runs_and_workers():

@@ -61,6 +61,71 @@ class TestGenerators:
             ZipfianGenerator(0, random.Random(0))
 
 
+class TestIncrementalZeta:
+    """The grow() bugfixes: O(1) zeta terms per insert, draws pinned."""
+
+    def test_static_draws_pinned(self):
+        """The incremental-zeta rewrite must not move any static draw."""
+        zipf = ZipfianGenerator(100, random.Random(11))
+        assert [zipf.next() for _ in range(12)] == [
+            5, 9, 66, 5, 6, 10, 0, 7, 13, 32, 0, 2,
+        ]
+        scrambled = ScrambledZipfianGenerator(100, random.Random(12))
+        assert [scrambled.next() for _ in range(12)] == [
+            60, 34, 17, 5, 5, 14, 96, 45, 35, 70, 52, 17,
+        ]
+        uniform = UniformGenerator(100, random.Random(13))
+        assert [uniform.next() for _ in range(12)] == [
+            33, 37, 87, 87, 23, 83, 29, 85, 18, 28, 82, 93,
+        ]
+        latest = LatestGenerator(100, random.Random(14))
+        assert [latest.next() for _ in range(12)] == [
+            99, 79, 84, 27, 98, 98, 76, 84, 97, 81, 96, 69,
+        ]
+
+    def test_grow_is_bit_identical_to_rebuild(self):
+        import struct
+
+        grown = ZipfianGenerator(100, random.Random(0))
+        for _ in range(37):
+            grown.grow()
+        fresh = ZipfianGenerator(137, random.Random(0))
+        assert struct.pack("d", grown.zeta_n) == struct.pack("d", fresh.zeta_n)
+        assert struct.pack("d", grown.eta) == struct.pack("d", fresh.eta)
+        assert grown.item_count == fresh.item_count
+
+    def test_grow_cost_is_one_term_per_insert(self):
+        """N inserts cost N zeta terms, not the quadratic rebuild."""
+        gen = ZipfianGenerator(100, random.Random(0))
+        assert gen.zeta_terms == 100  # construction computes one term each
+        for _ in range(50):
+            gen.grow()
+        assert gen.zeta_terms == 150  # +1 per insert; a rebuild would be ~6k
+
+    def test_latest_grow_cost_via_wrapper(self):
+        gen = LatestGenerator(200, random.Random(0))
+        for _ in range(25):
+            gen.grow()
+        assert gen._zipf.zeta_terms == 225
+
+    def test_uniform_grow_extends_range(self):
+        gen = UniformGenerator(3, random.Random(7))
+        for _ in range(5):
+            gen.grow()
+        draws = {gen.next() for _ in range(500)}
+        assert max(draws) > 2  # new keys are reachable
+        assert all(0 <= key < 8 for key in draws)
+
+    def test_scrambled_grow_extends_range(self):
+        gen = ScrambledZipfianGenerator(10, random.Random(8))
+        for _ in range(10):
+            gen.grow()
+        draws = {gen.next() for _ in range(2000)}
+        assert max(draws) >= 10  # hashes now land in the grown keyspace
+        assert all(0 <= key < 20 for key in draws)
+        assert gen._zipf.item_count == 20
+
+
 class TestWorkloadMixes:
     def test_table3_proportions(self):
         """The exact operation mixes of Table 3."""
